@@ -1,0 +1,248 @@
+// Benchmarks: one per table/figure of the paper. Each benchmark runs a
+// scaled-down (-quick) version of the corresponding experiment so the
+// whole suite regenerates every exhibit's machinery in minutes; the CLI
+// (`go run ./cmd/halfback-sim -fig all`) runs them at paper scale.
+//
+// The reported ns/op is the wall time to regenerate the exhibit once;
+// custom metrics carry the exhibit's headline values so a bench run
+// doubles as a results summary.
+package halfback
+
+import (
+	"testing"
+
+	"halfback/internal/experiment"
+	"halfback/internal/metrics"
+	"halfback/internal/scheme"
+)
+
+// benchScale keeps every exhibit benchmark in the seconds range.
+var benchScale = experiment.Scale{Trials: 0.04, Horizon: 0.15}
+
+func runExhibit(b *testing.B, run func(uint64, experiment.Scale) experiment.Result) experiment.Result {
+	b.Helper()
+	var last experiment.Result
+	for i := 0; i < b.N; i++ {
+		last = run(uint64(i)+1, benchScale)
+	}
+	return last
+}
+
+func BenchmarkFig01Tradeoff(b *testing.B) {
+	res := runExhibit(b, func(s uint64, sc experiment.Scale) experiment.Result {
+		return experiment.Fig1(s, sc)
+	}).(*experiment.Fig1Result)
+	b.ReportMetric(res.Sweep.FeasibleCapacity(scheme.Halfback)*100, "halfback_feasible_%")
+	b.ReportMetric(res.Sweep.LowLoadFCT(scheme.Halfback), "halfback_lowload_fct_ms")
+}
+
+func BenchmarkFig02FlowSizeCDF(b *testing.B) {
+	res := runExhibit(b, func(s uint64, sc experiment.Scale) experiment.Result {
+		return experiment.Fig2(s, sc)
+	}).(*experiment.Fig2Result)
+	if v, ok := res.TrafficBelow("Internet", 141<<10); ok {
+		b.ReportMetric(v*100, "internet_bytes_below_141KB_%")
+	}
+}
+
+func benchPlanetLab(b *testing.B) *experiment.PlanetLabData {
+	var last *experiment.PlanetLabData
+	for i := 0; i < b.N; i++ {
+		last = experiment.RunPlanetLab(uint64(i)+1, benchScale)
+	}
+	return last
+}
+
+func BenchmarkFig05Retransmissions(b *testing.B) {
+	d := benchPlanetLab(b)
+	retx := d.NormalRetx()
+	b.ReportMetric(metrics.Summarize(retx[scheme.Halfback]).Mean, "halfback_mean_retx")
+	b.ReportMetric(metrics.Summarize(retx[scheme.JumpStart]).Mean, "jumpstart_mean_retx")
+}
+
+func BenchmarkFig06PlanetLabFCT(b *testing.B) {
+	d := benchPlanetLab(b)
+	fcts := d.FCTms()
+	hb := metrics.Summarize(fcts[scheme.Halfback]).Mean
+	js := metrics.Summarize(fcts[scheme.JumpStart]).Mean
+	b.ReportMetric(hb, "halfback_mean_fct_ms")
+	b.ReportMetric(js, "jumpstart_mean_fct_ms")
+	if js > 0 {
+		b.ReportMetric((1-hb/js)*100, "halfback_vs_jumpstart_reduction_%")
+	}
+}
+
+func BenchmarkFig07RTTCount(b *testing.B) {
+	d := benchPlanetLab(b)
+	rtts := d.RTTCounts()
+	b.ReportMetric(metrics.Summarize(rtts[scheme.Halfback]).Median(), "halfback_p50_rtts")
+	b.ReportMetric(metrics.Summarize(rtts[scheme.TCP]).Median(), "tcp_p50_rtts")
+}
+
+func BenchmarkFig08LossyFCT(b *testing.B) {
+	d := benchPlanetLab(b)
+	lossy := d.LossyFCTms()
+	b.ReportMetric(metrics.Summarize(lossy[scheme.Halfback]).Median(), "halfback_lossy_p50_ms")
+	b.ReportMetric(metrics.Summarize(lossy[scheme.JumpStart]).Median(), "jumpstart_lossy_p50_ms")
+	b.ReportMetric(d.LossFraction(scheme.Halfback)*100, "halfback_loss_exposure_%")
+}
+
+func BenchmarkFig09HomeNetworks(b *testing.B) {
+	var res *experiment.Fig9Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig9(uint64(i)+1, benchScale)
+	}
+	for _, profile := range []string{"Comcast-wired", "AT&T-DSL-wireless"} {
+		b.ReportMetric(res.MedianReduction(profile)*100, profile+"_reduction_%")
+	}
+}
+
+func BenchmarkFig10Bufferbloat(b *testing.B) {
+	// The buffer sweep is the heaviest exhibit (64 cells × a long
+	// background flow); bench it at a tighter horizon.
+	sc := experiment.Scale{Trials: benchScale.Trials, Horizon: 0.05}
+	var res *experiment.Fig10Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig10(uint64(i)+1, sc)
+	}
+	if hb, ok := res.Cell(scheme.Halfback, 25_000); ok {
+		b.ReportMetric(hb.MeanRetx, "halfback_retx_small_buffer")
+	}
+	if js, ok := res.Cell(scheme.JumpStart, 25_000); ok {
+		b.ReportMetric(js.MeanRetx, "jumpstart_retx_small_buffer")
+	}
+}
+
+func BenchmarkFig11FlowSizeDistributions(b *testing.B) {
+	var res *experiment.Fig11Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig11(uint64(i)+1, benchScale)
+	}
+	if v, ok := res.MeanAt("Internet", scheme.Halfback, 100<<10); ok {
+		b.ReportMetric(v, "halfback_internet_100KB_fct_ms")
+	}
+}
+
+func BenchmarkFig12FeasibleCapacity(b *testing.B) {
+	res := runExhibit(b, func(s uint64, sc experiment.Scale) experiment.Result {
+		return experiment.Fig12(s, sc)
+	}).(*experiment.Fig12Result)
+	for _, name := range []string{scheme.Halfback, scheme.JumpStart, scheme.TCP, scheme.Proactive} {
+		b.ReportMetric(res.Sweep.FeasibleCapacity(name)*100, name+"_feasible_%")
+	}
+}
+
+func BenchmarkFig13ShortVsLong(b *testing.B) {
+	sc := experiment.Scale{Trials: benchScale.Trials, Horizon: 0.08}
+	var res *experiment.Fig13Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig13(uint64(i)+1, sc)
+	}
+	if pt, ok := res.At(scheme.Halfback, 0.50); ok {
+		b.ReportMetric(pt.ShortNormalized, "halfback_short_norm_50%")
+		b.ReportMetric(pt.LongNormalized, "halfback_long_norm_50%")
+	}
+}
+
+func BenchmarkFig14Friendliness(b *testing.B) {
+	var res *experiment.Fig14Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig14(uint64(i)+1, benchScale)
+	}
+	if pt, ok := res.At(scheme.Halfback, 0.20); ok {
+		b.ReportMetric(pt.TCPRatio, "halfback_tcp_ratio")
+		b.ReportMetric(pt.SchemeRatio, "halfback_self_ratio")
+	}
+}
+
+func BenchmarkFig15BackgroundThroughput(b *testing.B) {
+	var res *experiment.Fig15Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig15(uint64(i)+1, benchScale)
+	}
+	if p, ok := res.Panel("Halfback"); ok {
+		b.ReportMetric(p.BackgroundRecoveryMs, "halfback_bg_recovery_ms")
+		b.ReportMetric(p.ShortFCTms, "halfback_short_fct_ms")
+	}
+}
+
+func BenchmarkFig16WebResponse(b *testing.B) {
+	var res *experiment.Fig16Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig16(uint64(i)+1, benchScale)
+	}
+	if pt, ok := res.At(scheme.Halfback, 0.30); ok {
+		b.ReportMetric(pt.MeanResponseS*1000, "halfback_response_30%_ms")
+	}
+	if pt, ok := res.At(scheme.JumpStart, 0.30); ok {
+		b.ReportMetric(pt.MeanResponseS*1000, "jumpstart_response_30%_ms")
+	}
+}
+
+func BenchmarkFig17Ablations(b *testing.B) {
+	res := runExhibit(b, func(s uint64, sc experiment.Scale) experiment.Result {
+		return experiment.Fig17(s, sc)
+	}).(*experiment.Fig17Result)
+	for _, name := range []string{scheme.Halfback, scheme.HalfbackForward, scheme.HalfbackBurst} {
+		b.ReportMetric(res.Sweep.FeasibleCapacity(name)*100, name+"_feasible_%")
+	}
+}
+
+func BenchmarkTable1Taxonomy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiment.Table1(1, benchScale)
+	}
+}
+
+func BenchmarkExtensionsAblation(b *testing.B) {
+	var res *experiment.ExtResult
+	for i := 0; i < b.N; i++ {
+		res = experiment.Extensions(uint64(i)+1, benchScale)
+	}
+	b.ReportMetric(res.Sweep.FeasibleCapacity(scheme.Halfback)*100, "halfback_feasible_%")
+	b.ReportMetric(res.Sweep.FeasibleCapacity(scheme.HalfbackTwoThirds)*100, "halfback_2of3_feasible_%")
+	if v, ok := res.MeanAtSize(scheme.HalfbackIB10, 25<<10); ok {
+		b.ReportMetric(v, "ib10_25KB_fct_ms")
+	}
+	if v, ok := res.MeanAtSize(scheme.Halfback, 25<<10); ok {
+		b.ReportMetric(v, "halfback_25KB_fct_ms")
+	}
+}
+
+func BenchmarkFig03Walkthrough(b *testing.B) {
+	var res *experiment.Fig3Result
+	for i := 0; i < b.N; i++ {
+		res = experiment.Fig3(uint64(i)+1, benchScale)
+	}
+	b.ReportMetric(res.HalfbackStats.FCT().Seconds()*1000, "halfback_fct_ms")
+	b.ReportMetric(res.TCPStats.FCT().Seconds()*1000, "tcp_fct_ms")
+}
+
+func BenchmarkAQMComplementarity(b *testing.B) {
+	// Enough horizon for several short-flow arrivals per cell (they
+	// arrive every ~10 s in this scenario).
+	sc := experiment.Scale{Trials: benchScale.Trials, Horizon: 0.12}
+	var res *experiment.AQMResult
+	for i := 0; i < b.N; i++ {
+		res = experiment.AQM(uint64(i)+1, sc)
+	}
+	if row, ok := res.Cell(scheme.Halfback, "codel"); ok {
+		b.ReportMetric(row.MeanFCTms, "halfback_codel_fct_ms")
+	}
+	if row, ok := res.Cell(scheme.TCP, "droptail"); ok {
+		b.ReportMetric(row.MeanFCTms, "tcp_droptail_fct_ms")
+	}
+}
+
+func BenchmarkMultihopParkingLot(b *testing.B) {
+	var res *experiment.MultihopResult
+	for i := 0; i < b.N; i++ {
+		res = experiment.Multihop(uint64(i)+1, benchScale)
+	}
+	if row, ok := res.Cell(scheme.Halfback, 0.30); ok {
+		b.ReportMetric(row.MeanFCTms, "halfback_30%_fct_ms")
+	}
+	if row, ok := res.Cell(scheme.TCP, 0.30); ok {
+		b.ReportMetric(row.MeanFCTms, "tcp_30%_fct_ms")
+	}
+}

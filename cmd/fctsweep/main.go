@@ -1,0 +1,96 @@
+// Command fctsweep runs ad-hoc flow-completion-time sweeps outside the
+// paper's fixed exhibits: pick schemes, a utilization range, flow size,
+// buffer and RTT, and get the FCT curve. Useful for exploring the
+// latency/safety tradeoff beyond the paper's operating points.
+//
+// Examples:
+//
+//	fctsweep -schemes Halfback,JumpStart -utils 10,30,50,70
+//	fctsweep -schemes Halfback -flow 500000 -buffer 30000 -rtt 20ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"halfback/internal/experiment"
+	"halfback/internal/metrics"
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+	"halfback/internal/workload"
+)
+
+func main() {
+	var (
+		schemesArg = flag.String("schemes", "Halfback,JumpStart,TCP", "comma-separated scheme names")
+		utilsArg   = flag.String("utils", "10,30,50,70", "comma-separated utilization percentages")
+		flowBytes  = flag.Int("flow", 100_000, "flow size in bytes")
+		bufBytes   = flag.Int("buffer", 115_000, "bottleneck buffer in bytes")
+		rttArg     = flag.Duration("rtt", 60*time.Millisecond, "path round-trip propagation")
+		rateMbps   = flag.Int64("rate", 15, "bottleneck rate in Mbit/s")
+		horizon    = flag.Duration("horizon", 60*time.Second, "virtual seconds of arrivals per cell")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var utils []float64
+	for _, f := range strings.Split(*utilsArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 || v > 100 {
+			fmt.Fprintf(os.Stderr, "fctsweep: bad utilization %q\n", f)
+			os.Exit(2)
+		}
+		utils = append(utils, v/100)
+	}
+	names := strings.Split(*schemesArg, ",")
+	for i := range names {
+		names[i] = strings.TrimSpace(names[i])
+		if _, err := scheme.New(names[i]); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+
+	table := metrics.NewTable(
+		fmt.Sprintf("FCT sweep: %dB flows, %dMbps bottleneck, %v RTT, %dB buffer", *flowBytes, *rateMbps, *rttArg, *bufBytes),
+		"scheme", "utilization_%", "flows", "mean_fct_ms", "p50_ms", "p99_ms", "mean_norm_retx", "completion")
+	for _, name := range names {
+		for _, util := range utils {
+			row := runCell(*seed, name, util, *flowBytes, *bufBytes, *rttArg, *rateMbps*netem.Mbps, *horizon)
+			table.AddRow(row...)
+		}
+	}
+	table.WriteTo(os.Stdout)
+}
+
+func runCell(seed uint64, name string, util float64, flowBytes, bufBytes int,
+	rtt time.Duration, rateBps int64, horizon time.Duration) []any {
+	cfg := netem.DumbbellConfig{
+		Pairs: 16, BottleneckBps: rateBps, RTT: rtt, BufferBytes: bufBytes,
+	}.Defaulted()
+	s := experiment.NewDumbbellSim(seed, cfg)
+	inst := scheme.MustNew(name)
+	dist := workload.Fixed{Bytes: flowBytes}
+	ia := workload.MeanInterarrivalFor(dist.Mean(), util, cfg.BottleneckBps)
+	arrivals := workload.PoissonArrivals(s.Rng.ForkNamed("arrivals"), dist, ia, horizon)
+	for _, a := range arrivals {
+		s.StartFlowAt(a.At, inst, a.Bytes)
+	}
+	s.Run(sim.Duration(horizon) + 120*sim.Second)
+
+	var fcts, retx []float64
+	for _, st := range s.Finished {
+		fcts = append(fcts, st.FCT().Seconds()*1000)
+		retx = append(retx, float64(st.NormalRetx))
+	}
+	sum := metrics.Summarize(fcts)
+	return []any{
+		name, util * 100, len(arrivals), sum.Mean, sum.Median(), sum.Percentile(99),
+		metrics.Summarize(retx).Mean, s.CompletionRate(),
+	}
+}

@@ -1,0 +1,75 @@
+// Command halfback-sim regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	halfback-sim -fig 12                # one exhibit, paper scale
+//	halfback-sim -fig all -scale 0.1    # everything, reduced
+//	halfback-sim -list                  # show available exhibits
+//	halfback-sim -fig 6 -csv            # CSV instead of aligned text
+//
+// Output goes to stdout; each exhibit renders one or more tables whose
+// rows are the data series of the corresponding figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"halfback/internal/experiment"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "", "exhibit to regenerate: 1,2,5..17,table1 or 'all'")
+		seed  = flag.Uint64("seed", 1, "simulation seed")
+		scale = flag.Float64("scale", 1.0, "scale factor in (0,1]: trial counts and horizons shrink proportionally")
+		list  = flag.Bool("list", false, "list available exhibits")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list || *fig == "" {
+		fmt.Println("available exhibits:")
+		for _, e := range experiment.Registry() {
+			fmt.Printf("  %-7s %s\n", e.ID, e.Title)
+		}
+		if *fig == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	if *scale <= 0 || *scale > 1 {
+		fmt.Fprintln(os.Stderr, "halfback-sim: -scale must be in (0,1]")
+		os.Exit(2)
+	}
+	sc := experiment.Scale{Trials: *scale, Horizon: *scale}
+
+	var entries []experiment.Entry
+	if *fig == "all" {
+		entries = experiment.Registry()
+	} else {
+		e, err := experiment.Lookup(*fig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		entries = []experiment.Entry{e}
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		fmt.Printf("=== exhibit %s: %s (seed=%d scale=%g)\n", e.ID, e.Title, *seed, *scale)
+		res := e.Run(*seed, sc)
+		for _, t := range res.Tables() {
+			if *csv {
+				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
+			} else {
+				t.WriteTo(os.Stdout)
+				fmt.Println()
+			}
+		}
+		fmt.Printf("=== exhibit %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

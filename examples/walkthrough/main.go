@@ -1,0 +1,38 @@
+// Walkthrough reproduces the paper's Fig. 3 on your terminal: a
+// ten-segment Halfback flow whose "packet 9" (segment 8) loses its first
+// copy. The wire trace shows the Pacing phase (d0…d9), the ROPR phase
+// clocking reverse-order proactive copies (d9+, d8+, …) off the arriving
+// ACKs, and the lost packet recovered ~0.9 RTT before the sender could
+// even have detected the loss. The same scenario is then run with TCP,
+// which waits out a full retransmission timeout.
+//
+//	go run ./examples/walkthrough
+package main
+
+import (
+	"fmt"
+
+	"halfback"
+)
+
+func main() {
+	cfg := halfback.PathConfig{DropSeqs: []int32{8}}
+	bytes := 14600 // exactly ten 1460-byte segments
+
+	st, tr, err := halfback.FetchTrace(halfback.Halfback, bytes, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("=== Halfback: 10-segment flow, packet 9 lost once (the paper's Fig. 3) ===")
+	fmt.Print(tr.Sequence)
+	fmt.Printf("\nHalfback: FCT=%v, timeouts=%d, proactive copies=%d\n",
+		st.FCT(), st.Timeouts, tr.ProactiveSent)
+
+	tcp, _, err := halfback.FetchTrace(halfback.TCP, bytes, cfg)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("TCP, same scenario: FCT=%v, timeouts=%d\n", tcp.FCT(), tcp.Timeouts)
+	fmt.Printf("\nROPR recovered the loss %v sooner than TCP's timeout-driven recovery.\n",
+		tcp.FCT()-st.FCT())
+}

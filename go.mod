@@ -1,0 +1,3 @@
+module halfback
+
+go 1.24

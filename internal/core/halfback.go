@@ -1,0 +1,488 @@
+// Package core implements Halfback, the paper's contribution (§3): an
+// aggressive but safe short-flow transmission scheme with three phases.
+//
+//  1. Pacing (§3.1): after the handshake the sender paces
+//     min(flow, flow-control window, pacing threshold) evenly across the
+//     handshake RTT — fast delivery with bounded burstiness.
+//  2. ROPR (§3.2): once all paced packets are out and the first ACK of
+//     the phase arrives, each further ACK clocks one proactive
+//     retransmission of the highest-sequence unacknowledged segment,
+//     walking backwards — packets at the end of the paced burst are the
+//     most likely to have overflowed the bottleneck queue. The phase
+//     ends when the ACK frontier meets the retransmission pointer, so
+//     typically ~50% of the flow is retransmitted (hence "Halfback").
+//  3. TCP fallback (§3.3): flows longer than the threshold deliver their
+//     first k bytes with phases 1–2, then continue under standard
+//     congestion avoidance with cwnd = s·RTT, where s is the ACK rate
+//     observed during ROPR.
+//
+// Normal TCP loss recovery (SACK-inferred fast retransmission and RTO)
+// runs in parallel throughout, but retransmissions are ACK-clocked — at
+// most one segment is retransmitted per arriving ACK, with
+// loss-confirmed segments taking priority over proactive ones. This is
+// the "limited aggressiveness" that §5 shows is essential to Halfback's
+// safety.
+//
+// The package also implements the §5 ablations: Halfback-Forward
+// (proactive retransmission in forward order) and Halfback-Burst
+// (proactive retransmissions at line rate instead of ACK-clocked).
+package core
+
+import (
+	"halfback/internal/netem"
+	"halfback/internal/protocols/tcp"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+)
+
+// RetxOrder selects the proactive-retransmission strategy (§5's design
+// space: direction × rate).
+type RetxOrder uint8
+
+const (
+	// Reverse is Halfback proper: ACK-clocked, highest-sequence-first.
+	Reverse RetxOrder = iota
+	// Forward is the Halfback-Forward ablation: ACK-clocked,
+	// lowest-sequence-first.
+	Forward
+	// Burst is the Halfback-Burst ablation: all proactive
+	// retransmissions issued at line rate when ROPR would begin.
+	Burst
+)
+
+// String names the order for scheme labels.
+func (o RetxOrder) String() string {
+	switch o {
+	case Reverse:
+		return "reverse"
+	case Forward:
+		return "forward"
+	case Burst:
+		return "burst"
+	default:
+		return "unknown"
+	}
+}
+
+// Config parameterises a Halfback sender.
+type Config struct {
+	// PacingThresholdBytes bounds the aggressively transmitted prefix
+	// (§3.1). Zero means "equal to the flow-control window", the
+	// paper's evaluation setting (§4.1: "Halfback sets the Pacing
+	// Threshold to the flow control window size").
+	PacingThresholdBytes int
+
+	// Order selects Reverse (Halfback), Forward or Burst (§5
+	// ablations).
+	Order RetxOrder
+
+	// DisableROPR turns off proactive retransmission entirely,
+	// yielding a pacing-only scheme for ablation studies.
+	DisableROPR bool
+
+	// InitialBurst implements the refinement §4.2.4 suggests: send the
+	// first InitialBurst segments immediately (like TCP-10's initial
+	// window) and pace only the remainder across the RTT, removing the
+	// pacing delay that lets burst-start schemes beat Halfback on very
+	// small flows. Zero disables the refinement (the paper's evaluated
+	// configuration).
+	InitialBurst int32
+
+	// History, when non-nil, enables §3.1's adaptive Pacing Threshold:
+	// the aggressive prefix is bounded by the path's remembered
+	// throughput × the handshake RTT, so a repeat visit to a slow path
+	// does not over-pace it. Cold paths fall back to the static
+	// threshold/window bound.
+	History *RateHistory
+
+	// ProactiveRatio tunes ROPR's budget as retransmissions per ACK
+	// (§5's open question: "instead of sending one retransmission for
+	// each ACK, we could send two retransmissions for every three
+	// ACKs"). Zero means the paper's 1.0. Values below 1 trade recovery
+	// speed for bandwidth overhead; values above 1 are rejected — that
+	// would outrun the ACK clock.
+	ProactiveRatio float64
+}
+
+type phase uint8
+
+const (
+	phasePacing phase = iota
+	phaseROPR
+	phaseFallback
+)
+
+// Logic is the Halfback sender state machine.
+type Logic struct {
+	c    *transport.Conn
+	conf Config
+
+	phase      phase
+	pacer      *transport.Pacer
+	pacedHi    int32 // exclusive upper bound of the paced prefix
+	pacingDone bool
+
+	roprPtr     int32 // next candidate for proactive retransmission
+	roprDone    bool
+	forwardInit bool  // Forward ablation: cursor has been reset to 0
+	proCount    int32 // proactive retransmissions issued so far
+	proBudget   int32 // ~50% of the paced prefix (§5: "50% additional bandwidth")
+
+	// ACK-rate measurement for the fallback window (§3.3).
+	ackCount     int32
+	firstAckTime sim.Time
+	lastAckTime  sim.Time
+
+	// ratioCredit accumulates ProactiveRatio per ACK; a ROPR step
+	// spends one whole credit, so e.g. ratio 2/3 sends two
+	// retransmissions per three ACKs.
+	ratioCredit float64
+
+	// reno drives the TCP fallback for flows longer than the paced
+	// prefix; nil until the prefix is delivered.
+	reno *tcp.Reno
+
+	// reactiveSent counts loss-triggered retransmissions per segment.
+	// It is deliberately separate from the scoreboard's total
+	// retransmission counts: the "normal TCP retransmission [that]
+	// runs in parallel with ROPR" (§4.2.1) keeps its own state and is
+	// unaware of proactive copies, so a segment whose ROPR copy was
+	// itself lost is still recoverable reactively before any timeout.
+	reactiveSent []uint8
+	// lastCopyAt is when each segment was last (re)transmitted by this
+	// logic, used to damp ROPR wrap rounds: a hole is only re-covered
+	// once its previous copy is at least one SRTT old, i.e. presumed
+	// lost. This keeps the proactive rate at one per ACK and at most
+	// one outstanding copy per segment per round trip.
+	lastCopyAt []sim.Time
+	retxBudget int
+}
+
+// New returns the Logic factory for the given configuration.
+func New(conf Config) func(*transport.Conn) transport.Logic {
+	if conf.ProactiveRatio < 0 || conf.ProactiveRatio > 1 {
+		panic("core: ProactiveRatio must be in (0,1]")
+	}
+	if conf.ProactiveRatio == 0 {
+		conf.ProactiveRatio = 1
+	}
+	return func(c *transport.Conn) transport.Logic {
+		return &Logic{c: c, conf: conf, retxBudget: 1}
+	}
+}
+
+// PacedSegments reports the size of the aggressive prefix, for tests.
+func (l *Logic) PacedSegments() int32 { return l.pacedHi }
+
+// ROPRDone reports whether the proactive phase has completed.
+func (l *Logic) ROPRDone() bool { return l.roprDone }
+
+// InFallback reports whether the TCP fallback engine is active.
+func (l *Logic) InFallback() bool { return l.phase == phaseFallback }
+
+// FallbackCwnd returns the fallback engine's congestion window (0 if the
+// engine has not started), for tests and traces.
+func (l *Logic) FallbackCwnd() float64 {
+	if l.reno == nil {
+		return 0
+	}
+	return l.reno.Cwnd
+}
+
+// OnEstablished starts the Pacing phase.
+func (l *Logic) OnEstablished(now sim.Time) {
+	hi := l.c.NumSegs
+	if w := l.c.FcwSegs(); hi > w {
+		hi = w
+	}
+	if l.conf.PacingThresholdBytes > 0 {
+		t := int32(netem.SegmentsFor(l.conf.PacingThresholdBytes))
+		if hi > t {
+			hi = t
+		}
+	}
+	if l.conf.History != nil {
+		if th := l.conf.History.thresholdFor(l.c.SrcNode(), l.c.DstNode(), l.c.Stats.HandshakeRTT); th > 0 {
+			t := int32(netem.SegmentsFor(th))
+			if t < 2 {
+				t = 2
+			}
+			if hi > t {
+				hi = t
+			}
+		}
+	}
+	l.pacedHi = hi
+	l.roprPtr = hi - 1
+	l.proBudget = (hi + 1) / 2
+	l.reactiveSent = make([]uint8, l.c.NumSegs)
+	l.lastCopyAt = make([]sim.Time, l.c.NumSegs)
+
+	rtt := l.c.Stats.HandshakeRTT
+	if rtt <= 0 {
+		rtt = 1 * sim.Millisecond
+	}
+	markPaced := func(t sim.Time) {
+		l.pacingDone = true
+		if l.phase == phasePacing {
+			l.phase = phaseROPR
+		}
+	}
+	// §4.2.4 refinement: burst the first few segments like TCP-10,
+	// then pace the rest across the RTT.
+	lo := int32(0)
+	if b := l.conf.InitialBurst; b > 0 {
+		for lo < hi && lo < b {
+			l.c.SendSegment(lo, false, false, now)
+			lo++
+		}
+	}
+	l.pacer = l.c.PaceRange(lo, hi, rtt, markPaced)
+}
+
+// OnAck is the per-ACK heart of Halfback: measure the ACK rate, run the
+// parallel reactive recovery (ACK-clocked), clock ROPR, and drive the
+// fallback engine once it exists.
+func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
+	if l.firstAckTime == 0 {
+		l.firstAckTime = now
+	}
+	l.lastAckTime = now
+	l.ackCount++
+
+	sc := l.c.Score
+
+	if l.reno != nil {
+		// Fallback phase: the Reno engine owns recovery and new data.
+		l.reno.OnAck(pkt, up, now)
+		return
+	}
+
+	// ROPR and parallel normal recovery, ACK-clocked: at most ONE
+	// retransmission leaves per arriving ACK — "for each one of the
+	// paced packets that leaves the bottleneck queue, we send one
+	// proactively retransmitted packet" (§3.2). The proactive pass is
+	// the per-ACK action; the reactive fast-retransmit path only uses
+	// the ACK when ROPR has no candidate (before pacing completes, or
+	// once the phase is over). This is why Halfback's recoveries are
+	// overwhelmingly proactive and its *normal* retransmission counts
+	// stay far below JumpStart's (Figs. 5, 10b).
+	sent := false
+	if l.pacingDone && !l.roprDone && !l.conf.DisableROPR {
+		l.ratioCredit += l.conf.ProactiveRatio
+		if l.ratioCredit >= 1 {
+			l.ratioCredit--
+			before := l.proCount
+			switch l.conf.Order {
+			case Burst:
+				l.burstProactive(now)
+			case Forward:
+				l.stepForward(now)
+			default:
+				l.stepReverse(now)
+			}
+			sent = l.proCount > before
+		}
+	}
+	if !sent {
+		l.reactiveRetransmit(now)
+	}
+
+	// Enter the fallback phase once the paced prefix is delivered and
+	// the flow has more to send (§3.3).
+	if sc.CumAck() >= l.pacedHi && l.pacedHi < l.c.NumSegs {
+		l.startFallback(now)
+	}
+}
+
+// OnRTO retransmits the first hole, like TCP; the window consequence is
+// the fallback engine's business if it is running.
+func (l *Logic) OnRTO(now sim.Time) {
+	l.retxBudget++
+	if l.reno != nil {
+		l.reno.OnRTO(now)
+		return
+	}
+	sc := l.c.Score
+	if seq := sc.CumAck(); seq < l.c.NumSegs && sc.SentOnce(seq) && !sc.IsAcked(seq) {
+		l.c.SendSegment(seq, true, false, now)
+	}
+}
+
+// OnDone stops the pacer and records the achieved throughput for the
+// adaptive-threshold history.
+func (l *Logic) OnDone(now sim.Time) {
+	if l.pacer != nil {
+		l.pacer.Stop()
+	}
+	if l.conf.History != nil && l.c.Stats.Completed {
+		elapsed := l.c.Stats.SenderDone.Sub(l.c.Stats.Established)
+		if elapsed > 0 {
+			l.conf.History.Observe(l.c.SrcNode(), l.c.DstNode(),
+				float64(l.c.FlowBytes)/elapsed.Seconds())
+		}
+	}
+}
+
+// reactiveRetransmit sends at most one SACK-confirmed lost segment per
+// ACK, with a per-segment reactive budget of one per timeout epoch. It
+// reports whether a segment was sent.
+func (l *Logic) reactiveRetransmit(now sim.Time) bool {
+	sc := l.c.Score
+	for seq := sc.CumAck(); seq < l.pacedHi; seq++ {
+		if sc.IsAcked(seq) || !sc.SentOnce(seq) {
+			continue
+		}
+		if int(l.reactiveSent[seq]) < l.retxBudget && sc.DeemedLost(seq, l.c.Opts.DupThresh) {
+			l.reactiveSent[seq]++
+			l.lastCopyAt[seq] = now
+			l.c.SendSegment(seq, true, false, now)
+			return true
+		}
+	}
+	return false
+}
+
+// stepReverse performs one ROPR step: proactively retransmit the highest
+// unacknowledged segment at or below the pointer, then move the pointer
+// past it.
+//
+// Termination follows Fig. 3's rule: the phase ends when "all the
+// unACKed packets have already been proactively retransmitted". In the
+// loss-free case the descending pointer meets the ascending ACK frontier
+// in the middle, so ~50% of the flow is retransmitted — the eponymous
+// behaviour. Under loss, once the pointer crosses the frontier the
+// sender is not left idle while ACKs still arrive (§3.2 contrasts this
+// with standard TCP "simply idle waiting for ACKs"): the pointer wraps
+// to the highest remaining hole and keeps clocking one retransmission
+// per ACK until nothing in the paced prefix is outstanding. These extra
+// rounds are recovery work, not overhead — each targets a segment whose
+// every prior copy was lost — and they are what lets Halfback avoid
+// retransmission timeouts almost entirely.
+func (l *Logic) stepReverse(now sim.Time) {
+	sc := l.c.Score
+	for l.roprPtr >= sc.CumAck() && sc.IsAcked(l.roprPtr) {
+		l.roprPtr--
+	}
+	if l.roprPtr < sc.CumAck() {
+		// Wrap to the highest re-coverable hole: unacknowledged and
+		// with no copy younger than one SRTT.
+		srtt := l.c.RTT.SRTT()
+		next := int32(-1)
+		anyHole := false
+		for seq := min32(l.pacedHi, sc.HighSent()+1) - 1; seq >= sc.CumAck(); seq-- {
+			if sc.IsAcked(seq) {
+				continue
+			}
+			anyHole = true
+			if now.Sub(l.lastCopyAt[seq]) >= srtt {
+				next = seq
+				break
+			}
+		}
+		if !anyHole {
+			l.roprDone = true
+			return
+		}
+		if next < 0 {
+			return // all holes have a fresh copy in flight; stay armed
+		}
+		l.roprPtr = next
+	}
+	l.sendProactive(l.roprPtr, now)
+	l.roprPtr--
+}
+
+func min32(a, b int32) int32 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// stepForward is the §5 ablation: the pointer starts at the beginning of
+// the paced prefix and walks upward, with the same ~50% proactive budget
+// as Halfback proper. The first half of the flow is the least likely to
+// have been lost, so this spends the budget on the wrong packets —
+// exactly the effect Fig. 17 shows.
+func (l *Logic) stepForward(now sim.Time) {
+	sc := l.c.Score
+	if !l.forwardInit {
+		// Forward variant repurposes roprPtr as an ascending cursor.
+		l.forwardInit = true
+		l.roprPtr = 0
+	}
+	if l.proCount >= l.proBudget {
+		l.roprDone = true
+		return
+	}
+	for l.roprPtr < l.pacedHi && sc.IsAcked(l.roprPtr) {
+		l.roprPtr++
+	}
+	if l.roprPtr >= l.pacedHi {
+		l.roprDone = true
+		return
+	}
+	l.sendProactive(l.roprPtr, now)
+	l.roprPtr++
+}
+
+// burstProactive is the §5 rate ablation: on the first post-pacing ACK,
+// the same ~50% proactive budget is spent all at once at line rate
+// (reverse order, so the same packets Halfback proper would cover).
+func (l *Logic) burstProactive(now sim.Time) {
+	sc := l.c.Score
+	for seq := l.pacedHi - 1; seq >= sc.CumAck() && l.proCount < l.proBudget; seq-- {
+		if !sc.IsAcked(seq) {
+			l.sendProactive(seq, now)
+		}
+	}
+	l.roprDone = true
+}
+
+// sendProactive emits one proactive retransmission and charges the
+// budget.
+func (l *Logic) sendProactive(seq int32, now sim.Time) {
+	l.lastCopyAt[seq] = now
+	l.c.SendSegment(seq, true, true, now)
+	l.proCount++
+}
+
+// startFallback hands the remainder of the flow to a Reno engine whose
+// window is seeded from the ROPR-phase ACK rate: cwnd = s·RTT (§3.3).
+func (l *Logic) startFallback(now sim.Time) {
+	if l.reno != nil {
+		return
+	}
+	l.phase = phaseFallback
+	cwnd := l.estimateRateWindow()
+	l.reno = tcp.NewReno(l.c, tcp.Config{InitialWindow: 2})
+	l.reno.Cwnd = cwnd
+	l.reno.Ssthresh = cwnd
+	l.reno.Pump(now)
+}
+
+// estimateRateWindow computes s·RTT in segments from the observed ACK
+// arrival rate.
+func (l *Logic) estimateRateWindow() float64 {
+	elapsed := l.lastAckTime.Sub(l.firstAckTime)
+	srtt := l.c.RTT.SRTT()
+	if elapsed <= 0 || l.ackCount < 2 || srtt <= 0 {
+		return 2
+	}
+	rate := float64(l.ackCount-1) / float64(elapsed) // segments per ns
+	cwnd := rate * float64(srtt)
+	if cwnd < 2 {
+		cwnd = 2
+	}
+	// Never exceed the flow-control window's worth of segments.
+	if m := float64(l.c.FcwSegs()); cwnd > m {
+		cwnd = m
+	}
+	return cwnd
+}
+
+// DebugState summarises the logic's phase flags for tests and tracing.
+func (l *Logic) DebugState() (pacingDone, roprDone bool, roprPtr int32, proCount int32, phase uint8) {
+	return l.pacingDone, l.roprDone, l.roprPtr, l.proCount, uint8(l.phase)
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"halfback/internal/netem"
+	"halfback/internal/sim"
+)
+
+// RateHistory implements §3.1's second Pacing-Threshold option, which
+// the paper describes but does not evaluate: "set the threshold to the
+// largest throughput observed on recent connections, times the RTT
+// derived from the three-way handshake. This setting efficiently avoids
+// a too-aggressive startup phase."
+//
+// One RateHistory is shared by all adaptive Halfback flows of a
+// simulation (like TCP-Cache's path cache); it records each completed
+// flow's delivered throughput per (src,dst) path.
+type RateHistory struct {
+	rates map[histKey]float64 // bytes per second
+}
+
+type histKey struct {
+	src, dst netem.NodeID
+}
+
+// NewRateHistory returns an empty history.
+func NewRateHistory() *RateHistory {
+	return &RateHistory{rates: make(map[histKey]float64)}
+}
+
+// Observe records a completed flow's achieved throughput, keeping the
+// largest recent value per path (the paper says "largest throughput
+// observed on recent connections"; we keep a peak with mild decay toward
+// new observations so one lucky flow does not pin the estimate forever).
+func (h *RateHistory) Observe(src, dst netem.NodeID, bytesPerSec float64) {
+	if bytesPerSec <= 0 {
+		return
+	}
+	k := histKey{src, dst}
+	if old, ok := h.rates[k]; ok && old > bytesPerSec {
+		// Decay the stale peak toward the newer, lower observation.
+		h.rates[k] = 0.75*old + 0.25*bytesPerSec
+		return
+	}
+	h.rates[k] = bytesPerSec
+}
+
+// Lookup returns the remembered rate for a path.
+func (h *RateHistory) Lookup(src, dst netem.NodeID) (float64, bool) {
+	r, ok := h.rates[histKey{src, dst}]
+	return r, ok
+}
+
+// Len returns the number of paths with history.
+func (h *RateHistory) Len() int { return len(h.rates) }
+
+// thresholdFor computes the adaptive pacing threshold in bytes for a
+// path: observed rate × handshake RTT, or 0 (no bound) on a cold path.
+func (h *RateHistory) thresholdFor(src, dst netem.NodeID, rtt sim.Duration) int {
+	r, ok := h.Lookup(src, dst)
+	if !ok || rtt <= 0 {
+		return 0
+	}
+	return int(r * rtt.Seconds())
+}

@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"halfback/internal/metrics"
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+	"halfback/internal/workload"
+)
+
+// AQMResult is the §6 complementarity exhibit: the paper argues AQM
+// (CoDel/PIE) attacks bufferbloat from the router side and is "fully
+// complementary" to finishing flows in fewer RTTs — "the improvements
+// multiply". This experiment reruns the Fig. 10 bufferbloat scenario
+// (one queue-building background TCP flow, periodic short flows) on a
+// bloated 600 KB buffer under drop-tail, CoDel and RED, for a
+// many-round-trip scheme (TCP) and a few-round-trip scheme (Halfback).
+type AQMResult struct {
+	Rows []AQMRow
+}
+
+// AQMRow is one (scheme, discipline) cell.
+type AQMRow struct {
+	Scheme     string
+	Discipline string
+	MeanFCTms  float64
+	MeanRetx   float64
+	Completed  int
+}
+
+const aqmBufferBytes = 600_000 // deliberately bloated
+
+func aqmSchemes() []string {
+	return []string{scheme.TCP, scheme.TCP10, scheme.JumpStart, scheme.Halfback}
+}
+
+// AQM runs the grid.
+func AQM(seed uint64, sc Scale) *AQMResult {
+	res := &AQMResult{}
+	horizon := sc.horizon(bufferbloatHorizon)
+	for _, disc := range []netem.QueueDiscipline{netem.DropTail, netem.CoDel, netem.RED} {
+		for _, name := range aqmSchemes() {
+			res.Rows = append(res.Rows, runAQMCell(seed, name, disc, horizon))
+		}
+	}
+	return res
+}
+
+func runAQMCell(seed uint64, schemeName string, disc netem.QueueDiscipline, horizon sim.Duration) AQMRow {
+	s := NewDumbbellSim(seed^hashString("aqm"+schemeName)^uint64(disc),
+		netem.DumbbellConfig{Pairs: 4, BufferBytes: aqmBufferBytes})
+	s.D.Bottleneck.Discipline = disc
+	s.D.Reverse.Discipline = disc
+
+	// Queue-building background flow with an autotuned window (it is
+	// precisely the flow AQM exists to police).
+	bgOpts := s.Opts
+	bgOpts.FlowWindow = 4 << 20
+	s.StartFlowOnPairOpts(0, scheme.MustNew(scheme.TCP), 2_000_000_000, 0, bgOpts)
+
+	inst := scheme.MustNew(schemeName)
+	arrivals := workload.PoissonArrivals(s.Rng.ForkNamed("arrivals"),
+		workload.Fixed{Bytes: PlanetLabFlowBytes}, bufferbloatInterval, horizon-5*sim.Second)
+	for _, a := range arrivals {
+		s.StartFlowAt(a.At.Add(5*sim.Second), inst, a.Bytes)
+	}
+	s.Run(horizon + 60*sim.Second)
+
+	row := AQMRow{Scheme: schemeName, Discipline: disc.String()}
+	var fcts, retx []float64
+	for _, st := range s.Finished {
+		if st.Scheme != schemeName {
+			continue
+		}
+		row.Completed++
+		fcts = append(fcts, st.FCT().Seconds()*1000)
+		retx = append(retx, float64(st.NormalRetx))
+	}
+	row.MeanFCTms = metrics.Summarize(fcts).Mean
+	row.MeanRetx = metrics.Summarize(retx).Mean
+	return row
+}
+
+// Cell returns a row for tests.
+func (r *AQMResult) Cell(schemeName, disc string) (AQMRow, bool) {
+	for _, row := range r.Rows {
+		if row.Scheme == schemeName && row.Discipline == disc {
+			return row, true
+		}
+	}
+	return AQMRow{}, false
+}
+
+// Tables renders the grid.
+func (r *AQMResult) Tables() []*metrics.Table {
+	t := metrics.NewTable("AQM complementarity: short-flow FCT on a bloated (600 KB) bottleneck",
+		"scheme", "discipline", "mean_fct_ms", "mean_norm_retx", "completed")
+	for _, row := range r.Rows {
+		t.AddRow(row.Scheme, row.Discipline, row.MeanFCTms, row.MeanRetx, row.Completed)
+	}
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,121 @@
+package experiment
+
+import (
+	"halfback/internal/metrics"
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+	"halfback/internal/workload"
+)
+
+// Fig. 10 configuration (§4.2.3): one long-running background TCP flow
+// plus a 100 KB short flow every 10 s on average, for 600 s, with the
+// bottleneck buffer swept from very shallow to bloated.
+const (
+	bufferbloatHorizon  = 600 * sim.Second
+	bufferbloatInterval = 10 * sim.Second
+)
+
+// bufferbloatBuffers are the swept buffer sizes in bytes (paper x-axis:
+// 0–600 KB).
+func bufferbloatBuffers() []int {
+	return []int{10_000, 25_000, 50_000, 115_000, 200_000, 300_000, 450_000, 600_000}
+}
+
+// bufferbloatSchemes includes TCP-Cache and PCP, which Fig. 10 plots.
+func bufferbloatSchemes() []string {
+	return []string{
+		scheme.TCP, scheme.TCP10, scheme.TCPCache, scheme.Reactive,
+		scheme.Proactive, scheme.JumpStart, scheme.PCP, scheme.Halfback,
+	}
+}
+
+// Fig10Row is one (scheme, buffer) cell of Fig. 10's two panels.
+type Fig10Row struct {
+	Scheme      string
+	BufferBytes int
+	MeanFCTms   float64
+	MeanRetx    float64 // normal retransmissions per flow (panel b)
+	Completed   int
+	Launched    int
+}
+
+// Fig10Result reproduces Fig. 10(a) (mean short-flow FCT vs router
+// buffer size) and Fig. 10(b) (normal retransmissions vs buffer size).
+type Fig10Result struct {
+	Rows []Fig10Row
+}
+
+// Fig10 runs the sweep.
+func Fig10(seed uint64, sc Scale) *Fig10Result {
+	res := &Fig10Result{}
+	horizon := sc.horizon(bufferbloatHorizon)
+	for _, buf := range bufferbloatBuffers() {
+		for _, name := range bufferbloatSchemes() {
+			res.Rows = append(res.Rows, runBufferbloatCell(seed, name, buf, horizon))
+		}
+	}
+	return res
+}
+
+func runBufferbloatCell(seed uint64, schemeName string, buf int, horizon sim.Duration) Fig10Row {
+	s := NewDumbbellSim(seed^uint64(buf)*2654435761, netem.DumbbellConfig{
+		Pairs:       4,
+		BufferBytes: buf,
+	})
+	inst := scheme.MustNew(schemeName)
+	// Background long flow: plain TCP for the whole run (pair 0), with
+	// an autotuned-size receive window so it can actually occupy a
+	// bloated buffer (the short-flow schemes keep the paper's 141 KB).
+	bg := scheme.MustNew(scheme.TCP)
+	bgOpts := s.Opts
+	bgOpts.FlowWindow = 4 << 20
+	s.StartFlowOnPairOpts(0, bg, 2_000_000_000, 0, bgOpts)
+
+	// Short flows every 10 s on average, exponential interarrivals,
+	// starting after the background flow has filled the pipe.
+	arrivals := workload.PoissonArrivals(s.Rng.ForkNamed("arrivals"),
+		workload.Fixed{Bytes: PlanetLabFlowBytes}, bufferbloatInterval, horizon-5*sim.Second)
+	for _, a := range arrivals {
+		at := a.At.Add(5 * sim.Second)
+		s.StartFlowAt(at, inst, a.Bytes)
+	}
+	s.Run(horizon + 60*sim.Second)
+
+	row := Fig10Row{Scheme: schemeName, BufferBytes: buf, Launched: len(arrivals)}
+	var fcts, retx []float64
+	for _, st := range s.Finished {
+		if st.Scheme != schemeName {
+			continue
+		}
+		row.Completed++
+		fcts = append(fcts, st.FCT().Seconds()*1000)
+		retx = append(retx, float64(st.NormalRetx))
+	}
+	row.MeanFCTms = metrics.Summarize(fcts).Mean
+	row.MeanRetx = metrics.Summarize(retx).Mean
+	return row
+}
+
+// Tables renders both panels.
+func (r *Fig10Result) Tables() []*metrics.Table {
+	a := metrics.NewTable("Fig.10a Mean short-flow FCT vs router buffer",
+		"scheme", "buffer_KB", "mean_fct_ms", "completed", "launched")
+	b := metrics.NewTable("Fig.10b Normal retransmissions vs router buffer",
+		"scheme", "buffer_KB", "mean_normal_retx")
+	for _, row := range r.Rows {
+		a.AddRow(row.Scheme, row.BufferBytes/1000, row.MeanFCTms, row.Completed, row.Launched)
+		b.AddRow(row.Scheme, row.BufferBytes/1000, row.MeanRetx)
+	}
+	return []*metrics.Table{a, b}
+}
+
+// Cell returns the row for a (scheme, buffer) pair, for tests.
+func (r *Fig10Result) Cell(schemeName string, buf int) (Fig10Row, bool) {
+	for _, row := range r.Rows {
+		if row.Scheme == schemeName && row.BufferBytes == buf {
+			return row, true
+		}
+	}
+	return Fig10Row{}, false
+}

@@ -1,0 +1,61 @@
+package experiment
+
+import (
+	"halfback/internal/metrics"
+	"halfback/internal/scheme"
+	"halfback/internal/workload"
+)
+
+// ExtResult is the extension-ablation exhibit: the paper's suggested
+// refinements (§4.2.4's initial burst, §5's reduced proactive budget)
+// evaluated against Halfback proper on the two axes they trade off —
+// small-flow latency and feasible capacity.
+type ExtResult struct {
+	// SmallFlowFCT[scheme][sizeIdx] is the mean FCT (ms) for small
+	// flows at 25% utilization.
+	SmallFlows []Fig11Point
+	Sweep      *CapacitySweep
+	Schemes    []string
+}
+
+func extSchemes() []string {
+	return []string{
+		scheme.Halfback, scheme.HalfbackIB10, scheme.HalfbackTwoThirds,
+		scheme.PacingOnly, scheme.TCP10,
+	}
+}
+
+// Extensions runs the ablation: FCT-by-size on the Internet mix plus a
+// feasible-capacity sweep.
+func Extensions(seed uint64, sc Scale) *ExtResult {
+	res := &ExtResult{Schemes: extSchemes()}
+	horizon := sc.horizon(fig11Horizon)
+	dist := workload.InternetSizes()
+	for _, name := range res.Schemes {
+		res.SmallFlows = append(res.SmallFlows, runFig11Cell(seed, dist, name, horizon)...)
+	}
+	res.Sweep = RunCapacitySweep(seed, sc, res.Schemes)
+	return res
+}
+
+// Tables renders both panels.
+func (r *ExtResult) Tables() []*metrics.Table {
+	a := metrics.NewTable("Extensions: FCT vs flow size at 25% utilization (Internet mix)",
+		"scheme", "size_KB", "mean_fct_ms", "n")
+	for _, p := range r.SmallFlows {
+		a.AddRow(p.Scheme, p.SizeHiBytes/1024, p.MeanFCTms, p.N)
+	}
+	b := r.Sweep.feasibleTable("Extensions: feasible capacity", r.Schemes)
+	c := r.Sweep.sweepTable("Extensions: FCT vs utilization")
+	return []*metrics.Table{a, b, c}
+}
+
+// MeanAtSize returns the mean FCT for (scheme, bucket), for tests.
+func (r *ExtResult) MeanAtSize(schemeName string, sizeHi int) (float64, bool) {
+	for _, p := range r.SmallFlows {
+		if p.Scheme == schemeName && p.SizeHiBytes == sizeHi {
+			return p.MeanFCTms, true
+		}
+	}
+	return 0, false
+}

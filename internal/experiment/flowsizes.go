@@ -1,0 +1,133 @@
+package experiment
+
+import (
+	"sort"
+
+	"halfback/internal/metrics"
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+	"halfback/internal/workload"
+)
+
+// Fig. 11 configuration (§4.2.4): flows drawn from measured size
+// distributions (truncated at 1 MB) arrive as a Poisson process tuned to
+// 25 % bottleneck utilization; FCT is reported as a function of flow
+// size.
+const (
+	fig11Utilization = 0.25
+	fig11Horizon     = 400 * sim.Second
+)
+
+// fig11SizeBuckets are the bin edges (bytes) for the FCT-vs-size curves.
+func fig11SizeBuckets() []int {
+	return []int{
+		10 << 10, 25 << 10, 50 << 10, 75 << 10, 100 << 10,
+		150 << 10, 200 << 10, 300 << 10, 450 << 10, 700 << 10, 1 << 20,
+	}
+}
+
+// Fig11Point is one (distribution, scheme, size-bucket) mean.
+type Fig11Point struct {
+	Distribution string
+	Scheme       string
+	SizeHiBytes  int // bucket upper edge
+	MeanFCTms    float64
+	N            int
+}
+
+// Fig11Result reproduces Fig. 11(a,b,c).
+type Fig11Result struct {
+	Points []Fig11Point
+}
+
+// fig11Schemes mirrors the paper's eight curves.
+func fig11Schemes() []string {
+	return []string{
+		scheme.PCP, scheme.Proactive, scheme.TCP, scheme.Reactive,
+		scheme.TCP10, scheme.TCPCache, scheme.JumpStart, scheme.Halfback,
+	}
+}
+
+// Fig11 runs the experiment for all three distributions.
+func Fig11(seed uint64, sc Scale) *Fig11Result {
+	res := &Fig11Result{}
+	horizon := sc.horizon(fig11Horizon)
+	for _, dist := range workload.EvaluatedDistributions() {
+		for _, name := range fig11Schemes() {
+			res.Points = append(res.Points, runFig11Cell(seed, dist, name, horizon)...)
+		}
+	}
+	return res
+}
+
+func runFig11Cell(seed uint64, dist workload.SizeDist, schemeName string, horizon sim.Duration) []Fig11Point {
+	cfg := netem.DumbbellConfig{Pairs: 8}.Defaulted()
+	s := NewDumbbellSim(seed^hashString(dist.Name()+schemeName), cfg)
+	inst := scheme.MustNew(schemeName)
+	interarrival := workload.MeanInterarrivalFor(dist.Mean(), fig11Utilization, cfg.BottleneckBps)
+	if interarrival == 0 {
+		interarrival = sim.Millisecond
+	}
+	arrivals := workload.PoissonArrivals(s.Rng.ForkNamed("arrivals"), dist, interarrival, horizon)
+	for _, a := range arrivals {
+		s.StartFlowAt(a.At, inst, a.Bytes)
+	}
+	s.Run(horizon + 60*sim.Second)
+
+	buckets := fig11SizeBuckets()
+	byBucket := make([][]float64, len(buckets))
+	for _, st := range s.Finished {
+		if !st.Completed {
+			continue
+		}
+		idx := sort.SearchInts(buckets, st.FlowBytes)
+		if idx >= len(buckets) {
+			idx = len(buckets) - 1
+		}
+		byBucket[idx] = append(byBucket[idx], st.FCT().Seconds()*1000)
+	}
+	var out []Fig11Point
+	for i, xs := range byBucket {
+		if len(xs) == 0 {
+			continue
+		}
+		out = append(out, Fig11Point{
+			Distribution: dist.Name(), Scheme: schemeName,
+			SizeHiBytes: buckets[i],
+			MeanFCTms:   metrics.Summarize(xs).Mean, N: len(xs),
+		})
+	}
+	return out
+}
+
+// MeanAt returns the mean FCT for a (distribution, scheme, bucket)
+// triple, for tests; ok is false when the cell is empty.
+func (r *Fig11Result) MeanAt(dist, schemeName string, sizeHi int) (float64, bool) {
+	for _, p := range r.Points {
+		if p.Distribution == dist && p.Scheme == schemeName && p.SizeHiBytes == sizeHi {
+			return p.MeanFCTms, true
+		}
+	}
+	return 0, false
+}
+
+// Tables renders the three panels.
+func (r *Fig11Result) Tables() []*metrics.Table {
+	t := metrics.NewTable("Fig.11 FCT vs flow size at 25% utilization",
+		"distribution", "scheme", "size_KB", "mean_fct_ms", "n")
+	for _, p := range r.Points {
+		t.AddRow(p.Distribution, p.Scheme, p.SizeHiBytes/1024, p.MeanFCTms, p.N)
+	}
+	return []*metrics.Table{t}
+}
+
+// hashString gives stable per-cell seed salt.
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

@@ -1,0 +1,276 @@
+package experiment
+
+import (
+	"halfback/internal/metrics"
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+	"halfback/internal/workload"
+)
+
+// Fig. 13 configuration (§4.3.2): 10 % of traffic from 100 KB short
+// flows running the scheme under test, 90 % from long TCP flows, over
+// utilizations 30–85 %. FCTs are normalized by an all-TCP baseline run
+// against the identical arrival schedule ("for lower-variance
+// comparisons, all the experiments ... use the same schedule of flow
+// arrivals").
+//
+// Deviation from the paper recorded in EXPERIMENTS.md: the paper's long
+// flows are 100 MB; we use 25 MB over a 300 s horizon so the full sweep
+// stays tractable, which preserves the property that long flows span
+// many short-flow lifetimes.
+const (
+	fig13Horizon    = 300 * sim.Second
+	fig13LongBytes  = 25_000_000
+	fig13ShortShare = 0.10
+)
+
+func fig13Utils() []float64 {
+	var out []float64
+	for u := 0.30; u <= 0.851; u += 0.05 {
+		out = append(out, u)
+	}
+	return out
+}
+
+func fig13Schemes() []string {
+	return []string{
+		scheme.Proactive, scheme.Reactive, scheme.TCP10,
+		scheme.TCPCache, scheme.JumpStart, scheme.Halfback,
+	}
+}
+
+// Fig13Point is one (scheme, utilization) pair of normalized FCTs.
+type Fig13Point struct {
+	Scheme          string
+	Utilization     float64
+	ShortNormalized float64 // mean short FCT / baseline mean short FCT
+	LongNormalized  float64 // mean long FCT / baseline mean long FCT
+	ShortMeanMs     float64
+	LongMeanMs      float64
+}
+
+// Fig13Result reproduces Fig. 13(a) and (b).
+type Fig13Result struct {
+	Points []Fig13Point
+}
+
+// fig13Schedule is the shared arrival schedule for one utilization.
+type fig13Schedule struct {
+	shorts []workload.Arrival
+	longs  []workload.Arrival
+}
+
+func makeFig13Schedule(seed uint64, util float64, horizon sim.Duration, longBytes int) fig13Schedule {
+	rng := sim.NewRand(seed)
+	rate := int64(15 * netem.Mbps)
+	shortIA := workload.MeanInterarrivalFor(float64(PlanetLabFlowBytes), util*fig13ShortShare, rate)
+	longIA := workload.MeanInterarrivalFor(float64(longBytes), util*(1-fig13ShortShare), rate)
+	return fig13Schedule{
+		shorts: workload.PoissonArrivals(rng.ForkNamed("short"),
+			workload.Fixed{Bytes: PlanetLabFlowBytes}, shortIA, horizon),
+		longs: workload.PoissonArrivals(rng.ForkNamed("long"),
+			workload.Fixed{Bytes: longBytes}, longIA, horizon),
+	}
+}
+
+// runFig13Cell runs one schedule with the given short-flow scheme and
+// returns (mean short FCT ms, mean long FCT ms) over completed flows.
+func runFig13Cell(seed uint64, schemeName string, sched fig13Schedule, horizon sim.Duration) (float64, float64) {
+	s := NewDumbbellSim(seed^hashString("fig13"+schemeName), netem.DumbbellConfig{Pairs: 16})
+	shortInst := scheme.MustNew(schemeName)
+	longInst := scheme.MustNew(scheme.TCP)
+	for _, a := range sched.shorts {
+		s.StartFlowAt(a.At, shortInst, a.Bytes)
+	}
+	for _, a := range sched.longs {
+		c := s.StartFlowAt(a.At, longInst, a.Bytes)
+		c.Stats.Scheme = "long-TCP"
+	}
+	s.Run(horizon + 120*sim.Second)
+
+	var short, long []float64
+	for _, st := range s.Finished {
+		if st.Scheme == "long-TCP" {
+			long = append(long, st.FCT().Seconds()*1000)
+		} else {
+			short = append(short, st.FCT().Seconds()*1000)
+		}
+	}
+	return metrics.Summarize(short).Mean, metrics.Summarize(long).Mean
+}
+
+// Fig13 runs the sweep. The TCP cell doubles as the normalization
+// baseline for each utilization.
+func Fig13(seed uint64, sc Scale) *Fig13Result {
+	res := &Fig13Result{}
+	horizon := sc.horizon(fig13Horizon)
+	longBytes := int(float64(fig13LongBytes) * sc.Horizon)
+	if longBytes < 2_000_000 {
+		longBytes = 2_000_000
+	}
+	for _, util := range fig13Utils() {
+		sched := makeFig13Schedule(seed^uint64(util*10007), util, horizon, longBytes)
+		baseShort, baseLong := runFig13Cell(seed, scheme.TCP, sched, horizon)
+		for _, name := range fig13Schemes() {
+			sMean, lMean := runFig13Cell(seed, name, sched, horizon)
+			pt := Fig13Point{
+				Scheme: name, Utilization: util,
+				ShortMeanMs: sMean, LongMeanMs: lMean,
+			}
+			if baseShort > 0 {
+				pt.ShortNormalized = sMean / baseShort
+			}
+			if baseLong > 0 {
+				pt.LongNormalized = lMean / baseLong
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res
+}
+
+// At returns the point for (scheme, util), for tests.
+func (r *Fig13Result) At(schemeName string, util float64) (Fig13Point, bool) {
+	for _, p := range r.Points {
+		if p.Scheme == schemeName && abs(p.Utilization-util) < 1e-9 {
+			return p, true
+		}
+	}
+	return Fig13Point{}, false
+}
+
+// Tables renders both panels.
+func (r *Fig13Result) Tables() []*metrics.Table {
+	a := metrics.NewTable("Fig.13a Short-flow FCT normalized to all-TCP baseline",
+		"scheme", "utilization_%", "normalized_fct", "mean_fct_ms")
+	b := metrics.NewTable("Fig.13b Long-flow FCT normalized to all-TCP baseline",
+		"scheme", "utilization_%", "normalized_fct", "mean_fct_ms")
+	for _, p := range r.Points {
+		a.AddRow(p.Scheme, p.Utilization*100, p.ShortNormalized, p.ShortMeanMs)
+		b.AddRow(p.Scheme, p.Utilization*100, p.LongNormalized, p.LongMeanMs)
+	}
+	return []*metrics.Table{a, b}
+}
+
+// Fig. 14 (§4.3.3): TCP-friendliness. Half the flows run the non-TCP
+// scheme, half run TCP, at utilizations 5–30 %. Each point compares
+// mixed-deployment FCTs to the homogeneous references.
+func fig14Utils() []float64 { return []float64{0.05, 0.10, 0.15, 0.20, 0.25, 0.30} }
+
+func fig14Schemes() []string {
+	return []string{
+		scheme.JumpStart, scheme.Halfback, scheme.Proactive,
+		scheme.Reactive, scheme.TCP10, scheme.PCP, scheme.TCPCache,
+	}
+}
+
+// Fig14Point is one scatter point.
+type Fig14Point struct {
+	Scheme      string
+	Utilization float64
+	// TCPRatio is mixed-TCP FCT over all-TCP FCT (x axis).
+	TCPRatio float64
+	// SchemeRatio is mixed-scheme FCT over all-scheme FCT (y axis).
+	SchemeRatio float64
+	// Jain is Jain's fairness index over every mixed-run flow's
+	// 1/FCT (a rate proxy): 1 means the two populations' flows fared
+	// identically.
+	Jain float64
+}
+
+// Fig14Result reproduces the friendliness scatter.
+type Fig14Result struct {
+	Points []Fig14Point
+}
+
+const fig14Horizon = 120 * sim.Second
+
+// Fig14 runs the experiment.
+func Fig14(seed uint64, sc Scale) *Fig14Result {
+	res := &Fig14Result{}
+	horizon := sc.horizon(fig14Horizon)
+	for _, util := range fig14Utils() {
+		arrivals := workload.PoissonArrivals(
+			sim.NewRand(seed^uint64(util*1e4)).ForkNamed("fig14"),
+			workload.Fixed{Bytes: PlanetLabFlowBytes},
+			workload.MeanInterarrivalFor(float64(PlanetLabFlowBytes), util, 15*netem.Mbps),
+			horizon)
+		// Homogeneous TCP reference, shared by every scheme at this
+		// utilization.
+		allTCP := runFig14Homogeneous(seed, scheme.TCP, arrivals, horizon)
+		for _, name := range fig14Schemes() {
+			allScheme := runFig14Homogeneous(seed, name, arrivals, horizon)
+			mixTCP, mixScheme, jain := runFig14Mixed(seed, name, arrivals, horizon)
+			pt := Fig14Point{Scheme: name, Utilization: util, Jain: jain}
+			if allTCP > 0 {
+				pt.TCPRatio = mixTCP / allTCP
+			}
+			if allScheme > 0 {
+				pt.SchemeRatio = mixScheme / allScheme
+			}
+			res.Points = append(res.Points, pt)
+		}
+	}
+	return res
+}
+
+func runFig14Homogeneous(seed uint64, schemeName string, arrivals []workload.Arrival, horizon sim.Duration) float64 {
+	s := NewDumbbellSim(seed^hashString("fig14h"+schemeName), netem.DumbbellConfig{Pairs: 16})
+	inst := scheme.MustNew(schemeName)
+	for _, a := range arrivals {
+		s.StartFlowAt(a.At, inst, a.Bytes)
+	}
+	s.Run(horizon + 60*sim.Second)
+	return meanFCTms(s.Finished, "")
+}
+
+// runFig14Mixed alternates flows between TCP and the scheme and returns
+// (mean TCP FCT, mean scheme FCT, Jain index over all flows' 1/FCT).
+func runFig14Mixed(seed uint64, schemeName string, arrivals []workload.Arrival, horizon sim.Duration) (float64, float64, float64) {
+	s := NewDumbbellSim(seed^hashString("fig14m"+schemeName), netem.DumbbellConfig{Pairs: 16})
+	tcpInst := scheme.MustNew(scheme.TCP)
+	inst := scheme.MustNew(schemeName)
+	for i, a := range arrivals {
+		if i%2 == 0 {
+			s.StartFlowAt(a.At, inst, a.Bytes)
+		} else {
+			c := s.StartFlowAt(a.At, tcpInst, a.Bytes)
+			c.Stats.Scheme = "mixed-TCP"
+		}
+	}
+	s.Run(horizon + 60*sim.Second)
+	var rates []float64
+	for _, st := range s.Finished {
+		if st.Completed && st.FCT() > 0 {
+			rates = append(rates, 1/st.FCT().Seconds())
+		}
+	}
+	return meanFCTms(s.Finished, "mixed-TCP"), meanFCTms(s.Finished, inst.Name),
+		metrics.JainIndex(rates)
+}
+
+func meanFCTms(stats []*transport.FlowStats, schemeName string) float64 {
+	return metrics.Summarize(fctsMs(stats, schemeName)).Mean
+}
+
+// At returns the point for (scheme, util), for tests.
+func (r *Fig14Result) At(schemeName string, util float64) (Fig14Point, bool) {
+	for _, p := range r.Points {
+		if p.Scheme == schemeName && abs(p.Utilization-util) < 1e-9 {
+			return p, true
+		}
+	}
+	return Fig14Point{}, false
+}
+
+// Tables renders the scatter.
+func (r *Fig14Result) Tables() []*metrics.Table {
+	t := metrics.NewTable("Fig.14 TCP-friendliness scatter",
+		"scheme", "utilization_%", "tcp_fct_ratio_x", "scheme_fct_ratio_y", "jain_index")
+	for _, p := range r.Points {
+		t.AddRow(p.Scheme, p.Utilization*100, p.TCPRatio, p.SchemeRatio, p.Jain)
+	}
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,140 @@
+package experiment
+
+import (
+	"halfback/internal/metrics"
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+	"halfback/internal/workload"
+)
+
+// MultihopResult addresses the paper's explicit future-work item
+// "emulation with more complex topologies": short flows traverse a
+// parking-lot chain of three 15 Mbps bottlenecks while independent
+// per-hop TCP cross traffic holds each hop at a target utilization. A
+// chain multiplies both the loss exposure (three queues can overflow)
+// and the cost of conservatism (three hops of queueing per RTT), so it
+// stresses exactly the latency/safety trade-off the paper studies.
+type MultihopResult struct {
+	Rows []MultihopRow
+}
+
+// MultihopRow is one (scheme, per-hop utilization) cell.
+type MultihopRow struct {
+	Scheme      string
+	Utilization float64
+	MeanFCTms   float64
+	P99FCTms    float64
+	MeanRetx    float64
+	Completed   int
+	Launched    int
+}
+
+const multihopHorizon = 120 * sim.Second
+
+func multihopSchemes() []string {
+	return []string{scheme.TCP, scheme.TCP10, scheme.JumpStart, scheme.Halfback}
+}
+
+// Multihop runs the grid.
+func Multihop(seed uint64, sc Scale) *MultihopResult {
+	res := &MultihopResult{}
+	horizon := sc.horizon(multihopHorizon)
+	for _, util := range []float64{0.10, 0.30, 0.50} {
+		for _, name := range multihopSchemes() {
+			res.Rows = append(res.Rows, runMultihopCell(seed, name, util, horizon))
+		}
+	}
+	return res
+}
+
+func runMultihopCell(seed uint64, schemeName string, util float64, horizon sim.Duration) MultihopRow {
+	sched := sim.NewScheduler()
+	sched.MaxEvents = maxEventsBackstop
+	rng := sim.NewRand(seed ^ hashString("multihop"+schemeName) ^ uint64(util*1e4))
+	cfg := netem.ParkingLotConfig{Hops: 3}
+	pl := netem.NewParkingLot(sched, rng.ForkNamed("net"), cfg)
+
+	stacks := map[netem.NodeID]*transport.Stack{
+		pl.Src.ID: transport.NewStack(pl.Net, pl.Src),
+		pl.Dst.ID: transport.NewStack(pl.Net, pl.Dst),
+	}
+	for i := range pl.CrossSrc {
+		stacks[pl.CrossSrc[i].ID] = transport.NewStack(pl.Net, pl.CrossSrc[i])
+		stacks[pl.CrossDst[i].ID] = transport.NewStack(pl.Net, pl.CrossDst[i])
+	}
+
+	opts := transport.DefaultOptions()
+	var nextID netem.FlowID
+	var finished []*transport.FlowStats
+	var conns []*transport.Conn
+	launch := func(at sim.Time, inst *scheme.Instance, bytes int, src, dst netem.NodeID, label string) {
+		nextID++
+		conn := transport.NewConn(nextID, stacks[src], stacks[dst], bytes, opts, inst.Make,
+			func(c *transport.Conn) { finished = append(finished, c.Stats) })
+		conn.Stats.Scheme = label
+		conns = append(conns, conn)
+		sched.At(at, func(t sim.Time) { conn.Start(t) })
+	}
+
+	// Per-hop TCP cross traffic at the target utilization.
+	crossInst := scheme.MustNew(scheme.TCP)
+	dist := workload.Fixed{Bytes: PlanetLabFlowBytes}
+	ia := workload.MeanInterarrivalFor(dist.Mean(), util, cfg.Defaulted().BottleneckBps)
+	for i := range pl.CrossSrc {
+		for _, a := range workload.PoissonArrivals(rng.ForkNamed("cross"), dist, ia, horizon) {
+			launch(a.At, crossInst, a.Bytes, pl.CrossSrc[i].ID, pl.CrossDst[i].ID, "cross")
+		}
+	}
+	// Full-chain short flows of the scheme under test, every ~500 ms.
+	inst := scheme.MustNew(schemeName)
+	launched := 0
+	for _, a := range workload.PoissonArrivals(rng.ForkNamed("chain"),
+		dist, 500*sim.Millisecond, horizon) {
+		launch(a.At, inst, a.Bytes, pl.Src.ID, pl.Dst.ID, schemeName)
+		launched++
+	}
+
+	sched.RunUntil(sim.Time(horizon + 60*sim.Second))
+	for _, c := range conns {
+		c.Abort()
+	}
+
+	row := MultihopRow{Scheme: schemeName, Utilization: util, Launched: launched}
+	var fcts, retx []float64
+	for _, st := range finished {
+		if st.Scheme != schemeName {
+			continue
+		}
+		row.Completed++
+		fcts = append(fcts, st.FCT().Seconds()*1000)
+		retx = append(retx, float64(st.NormalRetx))
+	}
+	sum := metrics.Summarize(fcts)
+	row.MeanFCTms = sum.Mean
+	row.P99FCTms = sum.Percentile(99)
+	row.MeanRetx = metrics.Summarize(retx).Mean
+	return row
+}
+
+// Cell returns a row for tests.
+func (r *MultihopResult) Cell(schemeName string, util float64) (MultihopRow, bool) {
+	for _, row := range r.Rows {
+		if row.Scheme == schemeName && abs(row.Utilization-util) < 1e-9 {
+			return row, true
+		}
+	}
+	return MultihopRow{}, false
+}
+
+// Tables renders the grid.
+func (r *MultihopResult) Tables() []*metrics.Table {
+	t := metrics.NewTable("Multihop parking lot (3 bottlenecks): chain-flow FCT",
+		"scheme", "per_hop_utilization_%", "mean_fct_ms", "p99_fct_ms", "mean_retx", "completed", "launched")
+	for _, row := range r.Rows {
+		t.AddRow(row.Scheme, row.Utilization*100, row.MeanFCTms, row.P99FCTms,
+			row.MeanRetx, row.Completed, row.Launched)
+	}
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,54 @@
+package experiment
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry describes one reproducible exhibit.
+type Entry struct {
+	ID    string
+	Title string
+	Run   func(seed uint64, sc Scale) Result
+}
+
+// Registry maps exhibit IDs ("1", "2", "5"–"17", "table1") to runners.
+func Registry() []Entry {
+	return []Entry{
+		{"1", "Latency vs feasible-capacity tradeoff", func(s uint64, sc Scale) Result { return Fig1(s, sc) }},
+		{"2", "Traffic share by flow size", func(s uint64, sc Scale) Result { return Fig2(s, sc) }},
+		{"3", "Fig. 3 walkthrough: ROPR recovers a lost packet", func(s uint64, sc Scale) Result { return Fig3(s, sc) }},
+		{"5", "Normal retransmissions (PlanetLab)", func(s uint64, sc Scale) Result { return Fig5(s, sc) }},
+		{"6", "Flow completion time (PlanetLab)", func(s uint64, sc Scale) Result { return Fig6(s, sc) }},
+		{"7", "RTTs per transfer (PlanetLab)", func(s uint64, sc Scale) Result { return Fig7(s, sc) }},
+		{"8", "FCT under loss (PlanetLab)", func(s uint64, sc Scale) Result { return Fig8(s, sc) }},
+		{"9", "Home access networks", func(s uint64, sc Scale) Result { return Fig9(s, sc) }},
+		{"10", "Bufferbloat: FCT & retransmissions vs buffer", func(s uint64, sc Scale) Result { return Fig10(s, sc) }},
+		{"11", "FCT vs flow size (3 distributions)", func(s uint64, sc Scale) Result { return Fig11(s, sc) }},
+		{"12", "Feasible capacity, all-short workload", func(s uint64, sc Scale) Result { return Fig12(s, sc) }},
+		{"13", "Short aggressive vs long TCP", func(s uint64, sc Scale) Result { return Fig13(s, sc) }},
+		{"14", "TCP-friendliness scatter", func(s uint64, sc Scale) Result { return Fig14(s, sc) }},
+		{"15", "Ongoing-flow throughput timelines", func(s uint64, sc Scale) Result { return Fig15(s, sc) }},
+		{"16", "Web page response time", func(s uint64, sc Scale) Result { return Fig16(s, sc) }},
+		{"17", "ROPR design ablations", func(s uint64, sc Scale) Result { return Fig17(s, sc) }},
+		{"table1", "Startup/recovery design space", func(s uint64, sc Scale) Result { return Table1(s, sc) }},
+		{"ext", "Extensions: initial burst & reduced proactive budget", func(s uint64, sc Scale) Result { return Extensions(s, sc) }},
+		{"aqm", "AQM complementarity (CoDel/RED vs drop-tail)", func(s uint64, sc Scale) Result { return AQM(s, sc) }},
+		{"multihop", "Parking-lot chain of bottlenecks", func(s uint64, sc Scale) Result { return Multihop(s, sc) }},
+	}
+}
+
+// Lookup finds an entry by ID.
+func Lookup(id string) (Entry, error) {
+	for _, e := range Registry() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	var ids []string
+	for _, e := range Registry() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return Entry{}, fmt.Errorf("experiment: unknown exhibit %q (known: %v)", id, ids)
+}

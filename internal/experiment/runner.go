@@ -1,0 +1,235 @@
+// Package experiment wires workloads, topologies, schemes and metrics
+// into one runner per table/figure of the paper's evaluation (§4–§5).
+// Every runner takes a seed and a Scale, so the benchmark harness can
+// regenerate reduced-but-same-shape versions of each exhibit quickly
+// while the CLI reproduces them at paper scale.
+package experiment
+
+import (
+	"fmt"
+
+	"halfback/internal/metrics"
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+)
+
+// Scale shrinks experiments proportionally: Trials scales the number of
+// flows/paths/pages, Horizon scales simulated durations. Both must be in
+// (0,1]; Full runs the paper-scale version.
+type Scale struct {
+	Trials  float64
+	Horizon float64
+}
+
+// Full is the paper-scale configuration.
+var Full = Scale{Trials: 1, Horizon: 1}
+
+// Quick is a reduced configuration for benchmarks and smoke tests.
+var Quick = Scale{Trials: 0.05, Horizon: 0.2}
+
+func (s Scale) trials(n int) int {
+	v := int(float64(n) * s.Trials)
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+func (s Scale) horizon(d sim.Duration) sim.Duration {
+	v := sim.Duration(float64(d) * s.Horizon)
+	if v < sim.Second {
+		v = sim.Second
+	}
+	return v
+}
+
+// Result is what every experiment produces: one or more renderable
+// tables (the repository's "figures" are data series printed as rows).
+type Result interface {
+	Tables() []*metrics.Table
+}
+
+// maxEventsBackstop aborts runaway simulations; generous enough for the
+// largest paper-scale run.
+const maxEventsBackstop = 1_000_000_000
+
+// DumbbellSim is one simulation universe on the Fig. 4 topology:
+// scheduler, network, per-host transport stacks, flow launching and
+// stats collection.
+type DumbbellSim struct {
+	Sched *sim.Scheduler
+	Rng   *sim.Rand
+	D     *netem.Dumbbell
+	Opts  transport.Options
+
+	stacks   map[netem.NodeID]*transport.Stack
+	nextFlow netem.FlowID
+	nextPair int
+
+	conns []*transport.Conn
+	// Finished collects stats of completed flows in completion order.
+	Finished []*transport.FlowStats
+}
+
+// NewDumbbellSim builds the world.
+func NewDumbbellSim(seed uint64, cfg netem.DumbbellConfig) *DumbbellSim {
+	sched := sim.NewScheduler()
+	sched.MaxEvents = maxEventsBackstop
+	rng := sim.NewRand(seed)
+	d := netem.NewDumbbell(sched, rng.ForkNamed("net"), cfg)
+	s := &DumbbellSim{
+		Sched: sched, Rng: rng, D: d,
+		Opts:   transport.DefaultOptions(),
+		stacks: make(map[netem.NodeID]*transport.Stack),
+	}
+	for i := range d.Senders {
+		s.stacks[d.Senders[i].ID] = transport.NewStack(d.Net, d.Senders[i])
+		s.stacks[d.Receivers[i].ID] = transport.NewStack(d.Net, d.Receivers[i])
+	}
+	return s
+}
+
+// Stack returns the transport stack attached to a node.
+func (s *DumbbellSim) Stack(id netem.NodeID) *transport.Stack { return s.stacks[id] }
+
+// StartFlowAt schedules a flow of the given scheme and size to begin at
+// the given virtual time, on the next host pair round-robin. It returns
+// the connection for callers that need to observe it.
+func (s *DumbbellSim) StartFlowAt(at sim.Time, inst *scheme.Instance, bytes int) *transport.Conn {
+	pair := s.nextPair % len(s.D.Senders)
+	s.nextPair++
+	return s.StartFlowOnPair(at, inst, bytes, pair)
+}
+
+// StartFlowOnPair is StartFlowAt with an explicit host pair, for
+// experiments that pin flows to hosts (Fig. 15's background flow).
+func (s *DumbbellSim) StartFlowOnPair(at sim.Time, inst *scheme.Instance, bytes, pair int) *transport.Conn {
+	return s.StartFlowOnPairOpts(at, inst, bytes, pair, s.Opts)
+}
+
+// StartFlowOnPairOpts additionally overrides the transport options for
+// this one flow. Long background flows use it to model modern autotuned
+// receive windows (far larger than the 141 KB the short-flow schemes are
+// evaluated with), which is what lets them actually bloat large buffers.
+func (s *DumbbellSim) StartFlowOnPairOpts(at sim.Time, inst *scheme.Instance, bytes, pair int, opts transport.Options) *transport.Conn {
+	return s.StartFlowFull(at, inst, bytes, pair, opts, nil)
+}
+
+// StartFlowFull is the fully general flow launcher: explicit pair,
+// options override, and an optional per-flow completion callback (the
+// web-page experiment chains object fetches with it).
+func (s *DumbbellSim) StartFlowFull(at sim.Time, inst *scheme.Instance, bytes, pair int,
+	opts transport.Options, onDone func(*transport.FlowStats)) *transport.Conn {
+	id := s.nextFlow
+	s.nextFlow++
+	src := s.stacks[s.D.Senders[pair].ID]
+	dst := s.stacks[s.D.Receivers[pair].ID]
+	conn := transport.NewConn(id, src, dst, bytes, opts, inst.Make, func(c *transport.Conn) {
+		s.Finished = append(s.Finished, c.Stats)
+		if onDone != nil {
+			onDone(c.Stats)
+		}
+	})
+	// The label is set once here; callers may relabel (e.g. "long-TCP")
+	// before the flow completes and the label sticks.
+	conn.Stats.Scheme = inst.Name
+	s.conns = append(s.conns, conn)
+	s.Sched.At(at, func(t sim.Time) { conn.Start(t) })
+	return conn
+}
+
+// Run executes the simulation until the given virtual time, then aborts
+// unfinished flows (their stats remain inspectable via Conns).
+func (s *DumbbellSim) Run(until sim.Duration) {
+	s.Sched.RunUntil(sim.Time(until))
+	for _, c := range s.conns {
+		c.Abort()
+	}
+}
+
+// RunToCompletion executes until no events remain (every flow finished
+// or gave up). Use only for workloads guaranteed to drain.
+func (s *DumbbellSim) RunToCompletion() {
+	s.Sched.Run()
+}
+
+// Conns returns every connection created, finished or not.
+func (s *DumbbellSim) Conns() []*transport.Conn { return s.conns }
+
+// CompletionRate returns the fraction of launched flows that finished.
+func (s *DumbbellSim) CompletionRate() float64 {
+	if len(s.conns) == 0 {
+		return 1
+	}
+	return float64(len(s.Finished)) / float64(len(s.conns))
+}
+
+// PathSim is a single wide-area pair world (PlanetLab and home-network
+// experiments): one client, one server, one bottleneck path.
+type PathSim struct {
+	Sched  *sim.Scheduler
+	Path   *netem.Path
+	Client *transport.Stack
+	Server *transport.Stack
+	Opts   transport.Options
+
+	nextFlow netem.FlowID
+}
+
+// NewPathSim builds a fresh path world.
+func NewPathSim(seed uint64, cfg netem.PathConfig) *PathSim {
+	sched := sim.NewScheduler()
+	sched.MaxEvents = maxEventsBackstop
+	rng := sim.NewRand(seed)
+	p := netem.NewPath(sched, rng.ForkNamed("net"), cfg)
+	return &PathSim{
+		Sched:  sched,
+		Path:   p,
+		Client: transport.NewStack(p.Net, p.Client),
+		Server: transport.NewStack(p.Net, p.Server),
+		Opts:   transport.DefaultOptions(),
+	}
+}
+
+// FetchOnce runs a single download of the given size from server to
+// client (the server is the data sender) and returns its stats. The
+// simulation runs until the flow completes or the deadline passes.
+func (p *PathSim) FetchOnce(inst *scheme.Instance, bytes int, deadline sim.Duration) *transport.FlowStats {
+	id := p.nextFlow
+	p.nextFlow++
+	conn := transport.NewConn(id, p.Server, p.Client, bytes, p.Opts, inst.Make, func(c *transport.Conn) {
+		p.Sched.Stop()
+	})
+	conn.Stats.Scheme = inst.Name
+	p.Sched.At(p.Sched.Now(), func(t sim.Time) { conn.Start(t) })
+	p.Sched.RunUntil(p.Sched.Now().Add(deadline))
+	conn.Abort()
+	return conn.Stats
+}
+
+// schemeInstances builds a fresh instance of each named scheme (fresh
+// per simulation so cross-flow state never leaks between worlds).
+func schemeInstances(names []string) []*scheme.Instance {
+	out := make([]*scheme.Instance, len(names))
+	for i, n := range names {
+		out[i] = scheme.MustNew(n)
+	}
+	return out
+}
+
+// fctsMs extracts completed-flow FCTs in milliseconds for one scheme.
+func fctsMs(stats []*transport.FlowStats, schemeName string) []float64 {
+	var out []float64
+	for _, st := range stats {
+		if st.Completed && (schemeName == "" || st.Scheme == schemeName) {
+			out = append(out, st.FCT().Seconds()*1000)
+		}
+	}
+	return out
+}
+
+func fmtMs(d sim.Duration) string {
+	return fmt.Sprintf("%.1f", d.Seconds()*1000)
+}

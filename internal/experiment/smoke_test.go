@@ -1,0 +1,66 @@
+package experiment
+
+import (
+	"testing"
+
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+)
+
+// TestEverySchemeCompletesCleanPath runs one 100 KB flow of every scheme
+// on an idle dumbbell and checks it completes with a sane FCT.
+func TestEverySchemeCompletesCleanPath(t *testing.T) {
+	for _, name := range scheme.AllNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			s := NewDumbbellSim(1, netem.DumbbellConfig{Pairs: 1})
+			inst := scheme.MustNew(name)
+			s.StartFlowAt(0, inst, 100_000)
+			s.Run(30 * sim.Second)
+			if len(s.Finished) != 1 {
+				t.Fatalf("flow did not complete (finished=%d)", len(s.Finished))
+			}
+			st := s.Finished[0]
+			fct := st.FCT()
+			// 100 KB over a 15 Mbps bottleneck needs ≥ 53 ms of
+			// serialization plus at least 2 RTTs (120 ms); anything
+			// over 5 s on an idle path is broken.
+			if fct < 100*sim.Millisecond || fct > 5*sim.Second {
+				t.Fatalf("implausible FCT %v (stats %+v)", fct, st)
+			}
+			t.Logf("%s: FCT=%v sent=%d normRetx=%d proRetx=%d timeouts=%d",
+				name, fct, st.DataPktsSent, st.NormalRetx, st.ProactiveRetx, st.Timeouts)
+		})
+	}
+}
+
+// TestSchemeOrderingOnIdlePath checks the headline low-load ordering:
+// the pacing schemes beat TCP-10, which beats TCP, on an idle path.
+func TestSchemeOrderingOnIdlePath(t *testing.T) {
+	fct := func(name string) sim.Duration {
+		s := NewDumbbellSim(7, netem.DumbbellConfig{Pairs: 1})
+		s.StartFlowAt(0, scheme.MustNew(name), 100_000)
+		s.Run(30 * sim.Second)
+		if len(s.Finished) != 1 {
+			t.Fatalf("%s did not complete", name)
+		}
+		return s.Finished[0].FCT()
+	}
+	tcp := fct(scheme.TCP)
+	tcp10 := fct(scheme.TCP10)
+	hb := fct(scheme.Halfback)
+	js := fct(scheme.JumpStart)
+	t.Logf("TCP=%v TCP-10=%v JumpStart=%v Halfback=%v", tcp, tcp10, js, hb)
+	if !(tcp10 < tcp) {
+		t.Errorf("TCP-10 (%v) should beat TCP (%v)", tcp10, tcp)
+	}
+	if !(hb < tcp10) || !(js < tcp10) {
+		t.Errorf("pacing schemes (hb=%v js=%v) should beat TCP-10 (%v)", hb, js, tcp10)
+	}
+	// On a loss-free path Halfback and JumpStart have identical FCT
+	// (§4.2.1: same behaviour when nothing is lost).
+	if hb != js {
+		t.Errorf("loss-free path: Halfback (%v) should equal JumpStart (%v)", hb, js)
+	}
+}

@@ -1,0 +1,178 @@
+package experiment
+
+import (
+	"halfback/internal/metrics"
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+	"halfback/internal/workload"
+)
+
+// Fig. 16 configuration (§4.4): clients request the front page of one of
+// the 100 most popular sites; all objects are fetched in discovery order
+// over at most 6 concurrent connections; page-request interarrival is
+// tuned to a target utilization. Response time is the delivery of the
+// whole page.
+const (
+	webCorpusSize = 100
+	fig16Horizon  = 300 * sim.Second
+)
+
+func fig16Utils() []float64 {
+	return []float64{0.10, 0.20, 0.30, 0.40, 0.50, 0.60}
+}
+
+func fig16Schemes() []string {
+	return []string{scheme.JumpStart, scheme.Halfback, scheme.TCP, scheme.TCP10}
+}
+
+// Fig16Point is one (scheme, utilization) mean response time.
+type Fig16Point struct {
+	Scheme         string
+	Utilization    float64
+	MeanResponseS  float64
+	P90ResponseS   float64
+	PagesCompleted int
+	PagesRequested int
+}
+
+// Fig16Result reproduces the web response-time curves.
+type Fig16Result struct {
+	Points []Fig16Point
+}
+
+// webRequest is one scheduled page load, shared across schemes so every
+// scheme faces the identical request sequence (the same low-variance
+// technique §4.3.2 uses for flow arrivals).
+type webRequest struct {
+	At   sim.Time
+	Page int
+	Pair int
+}
+
+func makeWebSchedule(seed uint64, util float64, pages []workload.Page, horizon sim.Duration, rateBps int64, pairs int) []webRequest {
+	rng := sim.NewRand(seed ^ uint64(util*1e4)).ForkNamed("webreq")
+	meanPage := workload.MeanPageBytes(pages)
+	interarrival := workload.MeanInterarrivalFor(meanPage, util, rateBps)
+	var out []webRequest
+	t := sim.Time(0).Add(rng.ExpDuration(interarrival))
+	for i := 0; t < sim.Time(horizon); i++ {
+		out = append(out, webRequest{At: t, Page: rng.Intn(len(pages)), Pair: i % pairs})
+		t = t.Add(rng.ExpDuration(interarrival))
+	}
+	return out
+}
+
+// Fig16 runs the application-level benchmark.
+func Fig16(seed uint64, sc Scale) *Fig16Result {
+	res := &Fig16Result{}
+	pages := workload.BuildCorpus(seed^0xeb1, webCorpusSize)
+	horizon := sc.horizon(fig16Horizon)
+	cfg := netem.DumbbellConfig{Pairs: 16}.Defaulted()
+	for _, util := range fig16Utils() {
+		schedule := makeWebSchedule(seed, util, pages, horizon, cfg.BottleneckBps, cfg.Pairs)
+		for _, name := range fig16Schemes() {
+			res.Points = append(res.Points, runFig16Cell(seed, name, util, pages, schedule, horizon))
+		}
+	}
+	return res
+}
+
+// pageLoader drives one page request: dispatches object fetches in
+// order, at most MaxConcurrentConns outstanding, and records when the
+// last object lands.
+type pageLoader struct {
+	sim   *DumbbellSim
+	inst  *scheme.Instance
+	page  workload.Page
+	pair  int
+	start sim.Time
+
+	next      int
+	remaining int
+	onDone    func(finish sim.Time)
+}
+
+func (p *pageLoader) begin(now sim.Time) {
+	p.remaining = len(p.page.ObjectBytes)
+	// Browsers fetch the base document first; embedded objects are
+	// only discovered from its contents, after which up to
+	// MaxConcurrentConns fetches proceed in parallel. This ordering
+	// also staggers the parallel connections' start times, as it does
+	// in a real browser.
+	p.dispatch(now)
+}
+
+func (p *pageLoader) dispatch(now sim.Time) {
+	obj := p.page.ObjectBytes[p.next]
+	p.next++
+	first := p.next == 1 // this dispatch carries the base document
+	p.sim.StartFlowFull(now, p.inst, obj, p.pair, p.sim.Opts, func(st *transport.FlowStats) {
+		p.remaining--
+		// The completion callback runs when the sender learns the
+		// object finished; follow-up fetches dispatch at that instant
+		// (st.ReceiverDone is earlier — the data landed before the
+		// final ACK returned, and time cannot run backwards).
+		if first {
+			// Base document parsed: open the parallel connections.
+			for i := 0; i < workload.MaxConcurrentConns && p.next < len(p.page.ObjectBytes); i++ {
+				p.dispatch(p.sim.Sched.Now())
+			}
+		} else if p.next < len(p.page.ObjectBytes) {
+			p.dispatch(p.sim.Sched.Now())
+		}
+		if p.remaining == 0 && p.onDone != nil {
+			p.onDone(st.ReceiverDone)
+		}
+	})
+}
+
+func runFig16Cell(seed uint64, schemeName string, util float64, pages []workload.Page,
+	schedule []webRequest, horizon sim.Duration) Fig16Point {
+	cfg := netem.DumbbellConfig{Pairs: 16}.Defaulted()
+	s := NewDumbbellSim(seed^hashString("fig16"+schemeName)^uint64(util*1e4), cfg)
+	inst := scheme.MustNew(schemeName)
+
+	var responses []float64
+	for _, req := range schedule {
+		loader := &pageLoader{
+			sim: s, inst: inst, page: pages[req.Page],
+			pair: req.Pair, start: req.At,
+		}
+		start := req.At
+		loader.onDone = func(finish sim.Time) {
+			responses = append(responses, finish.Sub(start).Seconds())
+		}
+		s.Sched.At(req.At, loader.begin)
+	}
+	s.Run(horizon + 120*sim.Second)
+
+	sum := metrics.Summarize(responses)
+	return Fig16Point{
+		Scheme: schemeName, Utilization: util,
+		MeanResponseS: sum.Mean, P90ResponseS: sum.Percentile(90),
+		PagesCompleted: len(responses), PagesRequested: len(schedule),
+	}
+}
+
+// At returns the point for (scheme, util), for tests.
+func (r *Fig16Result) At(schemeName string, util float64) (Fig16Point, bool) {
+	for _, p := range r.Points {
+		if p.Scheme == schemeName && abs(p.Utilization-util) < 1e-9 {
+			return p, true
+		}
+	}
+	return Fig16Point{}, false
+}
+
+// Tables renders the curves.
+func (r *Fig16Result) Tables() []*metrics.Table {
+	t := metrics.NewTable("Fig.16 Web page response time vs utilization",
+		"scheme", "utilization_%", "mean_response_s", "p90_response_s", "completed", "requested")
+	for _, p := range r.Points {
+		t.AddRow(p.Scheme, p.Utilization*100, p.MeanResponseS, p.P90ResponseS,
+			p.PagesCompleted, p.PagesRequested)
+	}
+	return []*metrics.Table{t}
+}

@@ -1,0 +1,233 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"halfback/internal/sim"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Fatalf("summary %+v", s)
+	}
+	if s.Median() != 3 {
+		t.Fatalf("median %v", s.Median())
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev %v", s.Stddev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatal("empty summary")
+	}
+	if !math.IsNaN(s.Percentile(50)) {
+		t.Fatal("percentile of empty sample should be NaN")
+	}
+	if s.String() != "n=0" {
+		t.Fatalf("string %q", s.String())
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if got := s.Percentile(50); got != 5 {
+		t.Fatalf("p50 of {0,10} = %v", got)
+	}
+	if got := s.Percentile(25); got != 2.5 {
+		t.Fatalf("p25 %v", got)
+	}
+	if s.Percentile(0) != 0 || s.Percentile(100) != 10 {
+		t.Fatal("extremes")
+	}
+	if s.Percentile(-5) != 0 || s.Percentile(150) != 10 {
+		t.Fatal("clamping")
+	}
+}
+
+func TestPercentileMonotonic(t *testing.T) {
+	f := func(xs []float64) bool {
+		if len(xs) == 0 {
+			return true
+		}
+		for _, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+		}
+		s := Summarize(xs)
+		last := math.Inf(-1)
+		for p := 0.0; p <= 100; p += 7 {
+			v := s.Percentile(p)
+			if v < last {
+				return false
+			}
+			last = v
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCDFProperties(t *testing.T) {
+	xs := []float64{5, 1, 1, 3, 3, 3, 9}
+	cdf := CDF(xs)
+	// Distinct values only, ascending, final P = 1.
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].X <= cdf[i-1].X || cdf[i].P <= cdf[i-1].P {
+			t.Fatalf("CDF not strictly increasing: %+v", cdf)
+		}
+	}
+	if last := cdf[len(cdf)-1]; last.P != 1 || last.X != 9 {
+		t.Fatalf("last point %+v", last)
+	}
+	// P at 3 = 5/7 (two 1s + three 3s).
+	if got := CDFAt(cdf, 3); math.Abs(got-5.0/7) > 1e-12 {
+		t.Fatalf("CDFAt(3) = %v", got)
+	}
+	if got := CDFAt(cdf, 0.5); got != 0 {
+		t.Fatalf("CDFAt below min = %v", got)
+	}
+	if got := CDFAt(cdf, 100); got != 1 {
+		t.Fatalf("CDFAt above max = %v", got)
+	}
+}
+
+func TestCCDFComplementsCDF(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cdf, ccdf := CDF(xs), CCDF(xs)
+	for i := range cdf {
+		if math.Abs(cdf[i].P+ccdf[i].P-1) > 1e-12 {
+			t.Fatal("CDF + CCDF must equal 1 pointwise")
+		}
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = float64(i)
+	}
+	cdf := CDF(xs)
+	thin := SampleCDF(cdf, 11)
+	if len(thin) != 11 {
+		t.Fatalf("thinned to %d", len(thin))
+	}
+	if thin[0] != cdf[0] || thin[10] != cdf[len(cdf)-1] {
+		t.Fatal("thinned CDF must keep the endpoints")
+	}
+	if !sort.SliceIsSorted(thin, func(i, j int) bool { return thin[i].X < thin[j].X }) {
+		t.Fatal("thinned CDF unsorted")
+	}
+	if got := SampleCDF(cdf, 0); len(got) != len(cdf) {
+		t.Fatal("n<=0 returns input")
+	}
+}
+
+func TestTimeSeries(t *testing.T) {
+	ts := NewTimeSeries(0, 100*sim.Millisecond)
+	ts.Add(sim.Time(50*sim.Millisecond), 10)
+	ts.Add(sim.Time(99*sim.Millisecond), 5)
+	ts.Add(sim.Time(100*sim.Millisecond), 7)
+	ts.Add(sim.Time(250*sim.Millisecond), 1)
+	if ts.Len() != 3 {
+		t.Fatalf("len %d", ts.Len())
+	}
+	if ts.Value(0) != 15 || ts.Value(1) != 7 || ts.Value(2) != 1 {
+		t.Fatalf("buckets %v %v %v", ts.Value(0), ts.Value(1), ts.Value(2))
+	}
+	if ts.Value(99) != 0 || ts.Value(-1) != 0 {
+		t.Fatal("out-of-range buckets must be zero")
+	}
+	// 15 units in 0.1 s = 150 units/s.
+	if got := ts.Rate(0); got != 150 {
+		t.Fatalf("rate %v", got)
+	}
+	times := ts.Times()
+	if times[1] != sim.Time(100*sim.Millisecond) {
+		t.Fatalf("bucket time %v", times[1])
+	}
+}
+
+func TestTimeSeriesIgnoresPreOrigin(t *testing.T) {
+	ts := NewTimeSeries(sim.Time(1*sim.Second), 100*sim.Millisecond)
+	ts.Add(0, 99)
+	if ts.Len() != 0 {
+		t.Fatal("pre-origin samples must be dropped")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 12345.678)
+	out := tb.String()
+	if !strings.Contains(out, "## Demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.500") {
+		t.Fatalf("missing cells:\n%s", out)
+	}
+	if !strings.Contains(out, "12346") {
+		t.Fatalf("large floats render without decimals:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Fatalf("rows %d", tb.NumRows())
+	}
+	if tb.Row(0)[0] != "alpha" {
+		t.Fatalf("row access %v", tb.Row(0))
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "a", "b")
+	tb.AddRow(1, 2)
+	csv := tb.CSV()
+	if csv != "a,b\n1,2\n" {
+		t.Fatalf("csv %q", csv)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0: "0", 0.1234: "0.123", 55.55: "55.5", 4000: "4000", -2000: "-2000",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestJainIndex(t *testing.T) {
+	if JainIndex(nil) != 0 {
+		t.Fatal("empty")
+	}
+	if got := JainIndex([]float64{5, 5, 5, 5}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal shares: %v", got)
+	}
+	if got := JainIndex([]float64{10, 0, 0, 0}); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("one-taker: %v", got)
+	}
+	mixed := JainIndex([]float64{3, 5, 4, 4})
+	if mixed <= 0.25 || mixed >= 1 {
+		t.Fatalf("mixed shares: %v", mixed)
+	}
+}

@@ -1,0 +1,59 @@
+package metrics
+
+import "halfback/internal/sim"
+
+// TimeSeries buckets event counts (e.g. bytes delivered) into fixed-width
+// windows of virtual time; Fig. 15's throughput traces are built with it.
+type TimeSeries struct {
+	Bucket  sim.Duration
+	origin  sim.Time
+	buckets []float64
+}
+
+// NewTimeSeries creates a series with the given bucket width starting at
+// origin.
+func NewTimeSeries(origin sim.Time, bucket sim.Duration) *TimeSeries {
+	if bucket <= 0 {
+		panic("metrics: bucket width must be positive")
+	}
+	return &TimeSeries{Bucket: bucket, origin: origin}
+}
+
+// Add accumulates v into the bucket containing t. Times before the
+// origin are ignored.
+func (ts *TimeSeries) Add(t sim.Time, v float64) {
+	if t < ts.origin {
+		return
+	}
+	idx := int(t.Sub(ts.origin) / ts.Bucket)
+	for idx >= len(ts.buckets) {
+		ts.buckets = append(ts.buckets, 0)
+	}
+	ts.buckets[idx] += v
+}
+
+// Len returns the number of buckets touched so far.
+func (ts *TimeSeries) Len() int { return len(ts.buckets) }
+
+// Value returns the accumulated value of bucket i (0 beyond the end).
+func (ts *TimeSeries) Value(i int) float64 {
+	if i < 0 || i >= len(ts.buckets) {
+		return 0
+	}
+	return ts.buckets[i]
+}
+
+// Rate returns bucket i's value divided by the bucket width in seconds —
+// e.g. bytes/bucket → bytes/sec.
+func (ts *TimeSeries) Rate(i int) float64 {
+	return ts.Value(i) / ts.Bucket.Seconds()
+}
+
+// Times returns the start time of each bucket.
+func (ts *TimeSeries) Times() []sim.Time {
+	out := make([]sim.Time, len(ts.buckets))
+	for i := range out {
+		out[i] = ts.origin.Add(sim.Duration(i) * ts.Bucket)
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Package metrics provides the statistical machinery the experiment
+// harness uses to turn per-flow records into the paper's tables and
+// figures: summaries with percentiles, CDF/CCDF extraction, time-series
+// bucketing and plain-text table rendering.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary describes a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	Stddev float64
+
+	sorted []float64
+}
+
+// Summarize computes a Summary. The input is not modified.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if s.N == 0 {
+		return s
+	}
+	s.sorted = append([]float64(nil), xs...)
+	sort.Float64s(s.sorted)
+	s.Min = s.sorted[0]
+	s.Max = s.sorted[s.N-1]
+	var sum, sq float64
+	for _, x := range s.sorted {
+		sum += x
+	}
+	s.Mean = sum / float64(s.N)
+	for _, x := range s.sorted {
+		d := x - s.Mean
+		sq += d * d
+	}
+	if s.N > 1 {
+		s.Stddev = math.Sqrt(sq / float64(s.N-1))
+	}
+	return s
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between order statistics. It returns NaN for an empty
+// summary.
+func (s Summary) Percentile(p float64) float64 {
+	if s.N == 0 {
+		return math.NaN()
+	}
+	if p <= 0 {
+		return s.sorted[0]
+	}
+	if p >= 100 {
+		return s.sorted[s.N-1]
+	}
+	pos := p / 100 * float64(s.N-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return s.sorted[lo]*(1-frac) + s.sorted[hi]*frac
+}
+
+// Median returns the 50th percentile.
+func (s Summary) Median() float64 { return s.Percentile(50) }
+
+// String renders the summary compactly for logs and test output.
+func (s Summary) String() string {
+	if s.N == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%.3g p50=%.3g p99=%.3g max=%.3g",
+		s.N, s.Mean, s.Median(), s.Percentile(99), s.Max)
+}
+
+// CDFPoint is one point of an empirical distribution function.
+type CDFPoint struct {
+	X float64 // value
+	P float64 // cumulative probability in [0,1]
+}
+
+// CDF returns the empirical CDF of xs, one point per distinct value.
+func CDF(xs []float64) []CDFPoint {
+	if len(xs) == 0 {
+		return nil
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var out []CDFPoint
+	n := float64(len(sorted))
+	for i := 0; i < len(sorted); i++ {
+		// Collapse runs of equal values to their final (highest)
+		// cumulative probability.
+		if i+1 < len(sorted) && sorted[i+1] == sorted[i] {
+			continue
+		}
+		out = append(out, CDFPoint{X: sorted[i], P: float64(i+1) / n})
+	}
+	return out
+}
+
+// CCDF returns the complementary CDF (P[X > x]) of xs.
+func CCDF(xs []float64) []CDFPoint {
+	cdf := CDF(xs)
+	out := make([]CDFPoint, len(cdf))
+	for i, pt := range cdf {
+		out[i] = CDFPoint{X: pt.X, P: 1 - pt.P}
+	}
+	return out
+}
+
+// CDFAt evaluates an empirical CDF at x (step interpolation).
+func CDFAt(cdf []CDFPoint, x float64) float64 {
+	p := 0.0
+	for _, pt := range cdf {
+		if pt.X > x {
+			break
+		}
+		p = pt.P
+	}
+	return p
+}
+
+// SampleCDF thins a CDF to at most n roughly evenly spaced (in
+// probability) points, for compact figure output.
+func SampleCDF(cdf []CDFPoint, n int) []CDFPoint {
+	if n <= 0 || len(cdf) <= n {
+		return cdf
+	}
+	out := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		idx := i * (len(cdf) - 1) / (n - 1)
+		out = append(out, cdf[idx])
+	}
+	return out
+}
+
+// JainIndex computes Jain's fairness index over per-entity allocations:
+// (Σx)² / (n·Σx²). It is 1 when all allocations are equal and 1/n when
+// one entity takes everything; the TCP-friendliness analyses use it to
+// summarise how evenly co-existing flows fared.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

@@ -1,0 +1,173 @@
+package netem
+
+import (
+	"math"
+
+	"halfback/internal/sim"
+)
+
+// The paper's §6 observes that AQM (it cites CoDel and PIE) attacks the
+// bufferbloat problem from the router side and is "fully complementary"
+// to reducing a flow's RTT count — "the improvements multiply". This
+// file adds queue disciplines beyond drop-tail so that claim can be
+// tested: CoDel (delay-based, per Nichols & Jacobson) and RED
+// (probabilistic early drop), selectable per link.
+//
+// The Link keeps its drop-tail byte bound as a hard backstop in every
+// mode; the discipline decides early drops beneath it.
+
+// QueueDiscipline is the per-link queue management algorithm.
+type QueueDiscipline uint8
+
+const (
+	// DropTail is the default: admit until the byte bound, then drop.
+	DropTail QueueDiscipline = iota
+	// CoDel drops at dequeue when packets have sat in the queue longer
+	// than Target for at least Interval, with the standard
+	// inverse-sqrt control law.
+	CoDel
+	// RED drops probabilistically at enqueue as the EWMA queue length
+	// moves between its min and max thresholds.
+	RED
+)
+
+// String names the discipline.
+func (q QueueDiscipline) String() string {
+	switch q {
+	case DropTail:
+		return "droptail"
+	case CoDel:
+		return "codel"
+	case RED:
+		return "red"
+	default:
+		return "unknown"
+	}
+}
+
+// CoDelParams are the standard constants from the CoDel paper/RFC 8289.
+type CoDelParams struct {
+	// Target is the acceptable standing queue delay (default 5 ms).
+	Target sim.Duration
+	// Interval is the sliding window in which Target must be met at
+	// least once (default 100 ms).
+	Interval sim.Duration
+}
+
+func (p *CoDelParams) applyDefaults() {
+	if p.Target == 0 {
+		p.Target = 5 * sim.Millisecond
+	}
+	if p.Interval == 0 {
+		p.Interval = 100 * sim.Millisecond
+	}
+}
+
+// REDParams configure Random Early Detection.
+type REDParams struct {
+	// MinBytes and MaxBytes bound the EWMA queue-size region in which
+	// the drop probability ramps from 0 to MaxP. Defaults: 20% and 80%
+	// of the link's buffer.
+	MinBytes, MaxBytes int
+	// MaxP is the drop probability at MaxBytes (default 0.1).
+	MaxP float64
+	// Weight is the EWMA gain (default 0.002).
+	Weight float64
+}
+
+func (p *REDParams) applyDefaults(bufferCap int) {
+	if p.MinBytes == 0 {
+		p.MinBytes = bufferCap / 5
+	}
+	if p.MaxBytes == 0 {
+		p.MaxBytes = bufferCap * 4 / 5
+	}
+	if p.MaxP == 0 {
+		p.MaxP = 0.1
+	}
+	if p.Weight == 0 {
+		p.Weight = 0.002
+	}
+}
+
+// codelState carries CoDel's control-law variables.
+type codelState struct {
+	params       CoDelParams
+	dropping     bool
+	firstAboveAt sim.Time // when delay first exceeded target (0 = not above)
+	dropNextAt   sim.Time
+	dropCount    int
+	lastCount    int
+}
+
+// invSqrt returns 1/√n, the CoDel control law's drop-interval scaling.
+func invSqrt(n int) float64 {
+	if n <= 1 {
+		return 1
+	}
+	return 1 / math.Sqrt(float64(n))
+}
+
+// onDequeue implements the CoDel dequeue decision: it returns true when
+// the packet at the head should be dropped instead of transmitted.
+// sojourn is how long the packet waited in the queue.
+func (c *codelState) onDequeue(sojourn sim.Duration, now sim.Time) bool {
+	p := c.params
+	if sojourn < p.Target {
+		// Below target: leave dropping state.
+		c.firstAboveAt = 0
+		c.dropping = false
+		return false
+	}
+	if c.firstAboveAt == 0 {
+		c.firstAboveAt = now.Add(p.Interval)
+		return false
+	}
+	if !c.dropping {
+		if now >= c.firstAboveAt {
+			// Delay has stayed above target for a full interval:
+			// enter the dropping state.
+			c.dropping = true
+			// Control-law memory: restart from near the previous
+			// drop rate if we were dropping recently.
+			if c.dropCount > 2 && c.lastCount > 0 {
+				c.dropCount = c.lastCount - 2
+			} else {
+				c.dropCount = 1
+			}
+			c.lastCount = c.dropCount
+			c.dropNextAt = now.Add(sim.Duration(float64(p.Interval) * invSqrt(c.dropCount)))
+			return true
+		}
+		return false
+	}
+	if now >= c.dropNextAt {
+		c.dropCount++
+		c.lastCount = c.dropCount
+		c.dropNextAt = c.dropNextAt.Add(sim.Duration(float64(p.Interval) * invSqrt(c.dropCount)))
+		return true
+	}
+	return false
+}
+
+// redState carries RED's EWMA.
+type redState struct {
+	params REDParams
+	avg    float64
+}
+
+// onEnqueue returns true when RED decides to early-drop the arriving
+// packet, given the instantaneous queue size in bytes.
+func (r *redState) onEnqueue(queueBytes int, rng *sim.Rand) bool {
+	p := r.params
+	r.avg = (1-p.Weight)*r.avg + p.Weight*float64(queueBytes)
+	switch {
+	case r.avg < float64(p.MinBytes):
+		return false
+	case r.avg >= float64(p.MaxBytes):
+		return true
+	default:
+		frac := (r.avg - float64(p.MinBytes)) / float64(p.MaxBytes-p.MinBytes)
+		return rng.Bool(frac * p.MaxP)
+	}
+}

@@ -1,0 +1,215 @@
+package netem
+
+import (
+	"fmt"
+
+	"halfback/internal/sim"
+)
+
+// LinkStats accumulates per-link instrumentation used by the experiment
+// harness: drops for loss accounting, busy time for utilization, and
+// queue high-water marks for bufferbloat analysis.
+type LinkStats struct {
+	Enqueued     int64 // packets accepted into the queue
+	Dropped      int64 // packets dropped at the queue (overflow)
+	RandomLosses int64 // packets dropped by the random-loss process
+	AQMDrops     int64 // packets dropped early by CoDel/RED
+	Transmitted  int64 // packets fully serialized onto the wire
+	BytesTx      int64 // bytes fully serialized onto the wire
+	BusyTime     sim.Duration
+	MaxQueueByte int // high-water mark of queued bytes
+}
+
+// Link is a unidirectional channel from one node to another with a fixed
+// rate, propagation delay, and an ingress drop-tail queue bounded in
+// bytes. A bidirectional connection is two Links.
+type Link struct {
+	Name      string
+	From, To  NodeID
+	RateBps   int64        // line rate, bits per second
+	Delay     sim.Duration // one-way propagation delay
+	BufferCap int          // queue capacity in bytes (drop-tail); 0 means "effectively unbounded"
+
+	// LossProb drops each packet independently with this probability
+	// before it reaches the queue, modelling non-congestive loss
+	// (wireless home links, lossy Internet paths). Zero disables it.
+	LossProb float64
+
+	// Discipline selects the queue-management algorithm (drop-tail by
+	// default); CoDelConf/REDConf parameterise it. Set before traffic
+	// flows.
+	Discipline QueueDiscipline
+	CoDelConf  CoDelParams
+	REDConf    REDParams
+
+	// ReorderProb delays each packet's *propagation* by an extra
+	// ReorderDelay with this probability, letting later packets
+	// overtake it — the multipath/retry reordering real Internet paths
+	// exhibit and FIFO queues cannot produce. Zero disables it.
+	ReorderProb  float64
+	ReorderDelay sim.Duration
+
+	Stats LinkStats
+
+	// OnDrop, if set, is invoked for every packet lost on this link
+	// (queue overflow or random loss), after counters update.
+	OnDrop func(pkt *Packet, now sim.Time)
+
+	net        *Network
+	queue      []queuedPacket
+	queuedByte int
+	busy       bool
+	rng        *sim.Rand
+
+	codel    codelState
+	red      redState
+	aqmReady bool
+}
+
+// queuedPacket pairs a packet with its enqueue instant so disciplines
+// can compute sojourn times.
+type queuedPacket struct {
+	pkt *Packet
+	at  sim.Time
+}
+
+// initAQM lazily seeds the discipline state with defaults.
+func (l *Link) initAQM() {
+	if l.aqmReady {
+		return
+	}
+	l.aqmReady = true
+	l.codel.params = l.CoDelConf
+	l.codel.params.applyDefaults()
+	l.red.params = l.REDConf
+	cap := l.BufferCap
+	if cap <= 0 {
+		cap = 1 << 20
+	}
+	l.red.params.applyDefaults(cap)
+}
+
+// TxTime returns how long serializing size bytes onto this link takes.
+func (l *Link) TxTime(size int) sim.Duration {
+	return sim.Duration(int64(size) * 8 * int64(sim.Second) / l.RateBps)
+}
+
+// QueuedBytes returns the bytes currently waiting in the link's queue
+// (not counting the packet being serialized).
+func (l *Link) QueuedBytes() int { return l.queuedByte }
+
+// QueueDelay estimates how long a newly arriving packet would wait before
+// its own serialization begins, from the current backlog. Transports do
+// not use this (they are end-to-end), but tests and the PCP cross-check
+// harness do.
+func (l *Link) QueueDelay() sim.Duration { return l.TxTime(l.queuedByte) }
+
+// Send offers a packet to the link. It applies random loss, then the
+// drop-tail queue admission check, then begins transmission if the line is
+// idle. Send reports whether the packet was accepted.
+func (l *Link) Send(pkt *Packet, now sim.Time) bool {
+	if l.LossProb > 0 && l.rng.Bool(l.LossProb) {
+		l.Stats.RandomLosses++
+		if l.OnDrop != nil {
+			l.OnDrop(pkt, now)
+		}
+		return false
+	}
+	if l.BufferCap > 0 && l.queuedByte+pkt.Size > l.BufferCap {
+		l.Stats.Dropped++
+		if l.OnDrop != nil {
+			l.OnDrop(pkt, now)
+		}
+		return false
+	}
+	if l.Discipline == RED {
+		l.initAQM()
+		if l.red.onEnqueue(l.queuedByte, l.rng) {
+			l.Stats.AQMDrops++
+			if l.OnDrop != nil {
+				l.OnDrop(pkt, now)
+			}
+			return false
+		}
+	}
+	l.Stats.Enqueued++
+	l.queue = append(l.queue, queuedPacket{pkt: pkt, at: now})
+	l.queuedByte += pkt.Size
+	if l.queuedByte > l.Stats.MaxQueueByte {
+		l.Stats.MaxQueueByte = l.queuedByte
+	}
+	if !l.busy {
+		l.startTransmit(now)
+	}
+	return true
+}
+
+func (l *Link) startTransmit(now sim.Time) {
+	var pkt *Packet
+	for pkt == nil {
+		if len(l.queue) == 0 {
+			l.busy = false
+			return
+		}
+		head := l.queue[0]
+		copy(l.queue, l.queue[1:])
+		l.queue[len(l.queue)-1] = queuedPacket{}
+		l.queue = l.queue[:len(l.queue)-1]
+		l.queuedByte -= head.pkt.Size
+
+		if l.Discipline == CoDel {
+			l.initAQM()
+			if l.codel.onDequeue(now.Sub(head.at), now) {
+				l.Stats.AQMDrops++
+				if l.OnDrop != nil {
+					l.OnDrop(head.pkt, now)
+				}
+				continue // try the next head
+			}
+		}
+		pkt = head.pkt
+	}
+
+	l.busy = true
+	pkt.SentAt = now
+	tx := l.TxTime(pkt.Size)
+	l.Stats.BusyTime += tx
+
+	l.net.sched.After(tx, func(t sim.Time) {
+		l.Stats.Transmitted++
+		l.Stats.BytesTx += int64(pkt.Size)
+		// Propagation: packet arrives Delay later; the line frees
+		// immediately. Reordering injection adds an occasional extra
+		// propagation delay so later packets overtake this one.
+		prop := l.Delay
+		if l.ReorderProb > 0 && l.rng.Bool(l.ReorderProb) {
+			extra := l.ReorderDelay
+			if extra <= 0 {
+				extra = 2 * l.TxTime(SegmentSize)
+			}
+			prop += extra
+		}
+		l.net.sched.After(prop, func(arrival sim.Time) {
+			l.net.deliver(l.To, pkt, arrival)
+		})
+		if len(l.queue) > 0 {
+			l.startTransmit(t)
+		} else {
+			l.busy = false
+		}
+	})
+}
+
+// Utilization returns the fraction of the window [start,end] the link
+// spent serializing bits. Callers snapshot BusyTime at start themselves
+// for windowed measurement; this helper covers the whole run.
+func (l *Link) Utilization(elapsed sim.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(l.Stats.BusyTime) / float64(elapsed)
+}
+
+func (l *Link) String() string {
+	return fmt.Sprintf("link(%s %d->%d %dbps %v buf=%dB)", l.Name, l.From, l.To, l.RateBps, l.Delay, l.BufferCap)
+}

@@ -1,0 +1,217 @@
+package netem
+
+import (
+	"fmt"
+
+	"halfback/internal/sim"
+)
+
+// DeliverFunc receives packets addressed to a node. Host protocol stacks
+// register one; routers leave it nil and only forward.
+type DeliverFunc func(pkt *Packet, now sim.Time)
+
+// Node is a host or router in the network.
+type Node struct {
+	ID     NodeID
+	Name   string
+	routes map[NodeID]*Link // destination -> egress link
+	// Deliver handles packets addressed to this node. Nil for pure
+	// routers; packets addressed to a node without a handler are a
+	// wiring bug and panic.
+	Deliver DeliverFunc
+}
+
+// Network owns the nodes and links of one simulated topology and routes
+// packets between them using static shortest-path (hop count) routes.
+type Network struct {
+	sched *sim.Scheduler
+	rng   *sim.Rand
+	nodes []*Node
+	links []*Link
+
+	// DroppedTotal counts packets lost anywhere in the network.
+	DroppedTotal int64
+
+	// Trace, if set, observes every packet's life-cycle: one Send event
+	// at injection, one Drop event per loss (any link), one Recv event
+	// at final delivery. Tracing is pull-free and adds no events to the
+	// scheduler; internal/trace builds flow timelines on top of it.
+	Trace func(ev TraceEvent)
+}
+
+// TraceEventKind classifies a TraceEvent.
+type TraceEventKind uint8
+
+// Trace event kinds.
+const (
+	TraceSend TraceEventKind = iota
+	TraceDrop
+	TraceRecv
+)
+
+// String names the kind.
+func (k TraceEventKind) String() string {
+	switch k {
+	case TraceSend:
+		return "send"
+	case TraceDrop:
+		return "drop"
+	case TraceRecv:
+		return "recv"
+	default:
+		return "unknown"
+	}
+}
+
+// TraceEvent is one observation of a packet.
+type TraceEvent struct {
+	Kind TraceEventKind
+	At   sim.Time
+	Pkt  Packet // copied so later mutation cannot corrupt the trace
+}
+
+// NewNetwork creates an empty network driven by sched. rng seeds the
+// random-loss processes of links; pass a forked stream so topology loss is
+// independent of workload randomness.
+func NewNetwork(sched *sim.Scheduler, rng *sim.Rand) *Network {
+	if rng == nil {
+		rng = sim.NewRand(1)
+	}
+	return &Network{sched: sched, rng: rng}
+}
+
+// Scheduler returns the event scheduler driving this network.
+func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
+
+// AddNode creates a node and returns it.
+func (n *Network) AddNode(name string) *Node {
+	node := &Node{ID: NodeID(len(n.nodes)), Name: name, routes: make(map[NodeID]*Link)}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// Node returns the node with the given ID.
+func (n *Network) Node(id NodeID) *Node { return n.nodes[int(id)] }
+
+// Links returns all links, for instrumentation sweeps.
+func (n *Network) Links() []*Link { return n.links }
+
+// LinkConfig parameterises one direction of a connection.
+type LinkConfig struct {
+	RateBps   int64
+	Delay     sim.Duration
+	BufferCap int     // bytes; 0 = unbounded
+	LossProb  float64 // independent random loss
+}
+
+// AddLink creates a unidirectional link from a to b.
+func (n *Network) AddLink(a, b *Node, cfg LinkConfig) *Link {
+	if cfg.RateBps <= 0 {
+		panic("netem: link rate must be positive")
+	}
+	l := &Link{
+		Name:      fmt.Sprintf("%s->%s", a.Name, b.Name),
+		From:      a.ID,
+		To:        b.ID,
+		RateBps:   cfg.RateBps,
+		Delay:     cfg.Delay,
+		BufferCap: cfg.BufferCap,
+		LossProb:  cfg.LossProb,
+		net:       n,
+		rng:       n.rng.ForkNamed(fmt.Sprintf("loss:%d->%d", a.ID, b.ID)),
+	}
+	l.OnDrop = func(pkt *Packet, now sim.Time) {
+		n.DroppedTotal++
+		if n.Trace != nil {
+			n.Trace(TraceEvent{Kind: TraceDrop, At: now, Pkt: *pkt})
+		}
+	}
+	n.links = append(n.links, l)
+	return l
+}
+
+// Connect creates a symmetric pair of links between a and b with the same
+// configuration in both directions, returning (a→b, b→a).
+func (n *Network) Connect(a, b *Node, cfg LinkConfig) (*Link, *Link) {
+	return n.AddLink(a, b, cfg), n.AddLink(b, a, cfg)
+}
+
+// ComputeRoutes (re)builds every node's static routing table with a BFS
+// per node over the link graph. Call once after topology construction.
+func (n *Network) ComputeRoutes() {
+	adj := make(map[NodeID][]*Link)
+	for _, l := range n.links {
+		adj[l.From] = append(adj[l.From], l)
+	}
+	for _, src := range n.nodes {
+		src.routes = make(map[NodeID]*Link, len(n.nodes))
+		// BFS from src; record for each reached node the first link
+		// out of src on the shortest path.
+		type qe struct {
+			node  NodeID
+			first *Link
+		}
+		visited := make([]bool, len(n.nodes))
+		visited[src.ID] = true
+		queue := make([]qe, 0, len(n.nodes))
+		for _, l := range adj[src.ID] {
+			if !visited[l.To] {
+				visited[l.To] = true
+				src.routes[l.To] = l
+				queue = append(queue, qe{l.To, l})
+			}
+		}
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			for _, l := range adj[cur.node] {
+				if !visited[l.To] {
+					visited[l.To] = true
+					src.routes[l.To] = cur.first
+					queue = append(queue, qe{l.To, cur.first})
+				}
+			}
+		}
+	}
+}
+
+// Inject sends a packet from its Src node toward its Dst node. The source
+// node must have a route; transport stacks call this for every packet they
+// emit. Inject reports whether the first hop accepted the packet.
+func (n *Network) Inject(pkt *Packet, now sim.Time) bool {
+	if n.Trace != nil {
+		n.Trace(TraceEvent{Kind: TraceSend, At: now, Pkt: *pkt})
+	}
+	src := n.nodes[int(pkt.Src)]
+	if pkt.Dst == src.ID {
+		// Loopback: deliver immediately (used by tests).
+		n.deliver(pkt.Dst, pkt, now)
+		return true
+	}
+	link, ok := src.routes[pkt.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netem: no route from %s to node %d", src.Name, pkt.Dst))
+	}
+	return link.Send(pkt, now)
+}
+
+// deliver hands a packet to its next node: the destination's handler if it
+// has arrived, otherwise the next hop's egress link.
+func (n *Network) deliver(at NodeID, pkt *Packet, now sim.Time) {
+	node := n.nodes[int(at)]
+	if pkt.Dst == at {
+		if node.Deliver == nil {
+			panic(fmt.Sprintf("netem: packet for %s but node has no Deliver handler", node.Name))
+		}
+		if n.Trace != nil {
+			n.Trace(TraceEvent{Kind: TraceRecv, At: now, Pkt: *pkt})
+		}
+		node.Deliver(pkt, now)
+		return
+	}
+	link, ok := node.routes[pkt.Dst]
+	if !ok {
+		panic(fmt.Sprintf("netem: no route from %s to node %d", node.Name, pkt.Dst))
+	}
+	link.Send(pkt, now)
+}

@@ -1,0 +1,131 @@
+package netem
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"halfback/internal/sim"
+)
+
+// Wire format. The simulator never needs to serialize packets — they
+// move as Go values — but a deployable implementation of these schemes
+// does (the paper's runs on UDT datagrams). This codec defines a
+// compact, versioned binary header so traces can be exported, replayed
+// and diffed against real captures, and so the packet structures stay
+// honest about what would actually fit on the wire.
+//
+// Layout (big-endian, 52 bytes fixed + 8 per SACK block):
+//
+//	 0: magic   uint16  0x4842 ("HB")
+//	 2: version uint8
+//	 3: kind    uint8
+//	 4: flow    int64
+//	12: src     int32
+//	16: dst     int32
+//	20: seq     int32
+//	24: size    int32   (payload size claim, bytes)
+//	28: flags   uint8   (bit0 retransmit, bit1 proactive)
+//	29: numSACK uint8
+//	30: cumAck  int32
+//	34: ackedSeq int32
+//	38: recvTotal int32
+//	42: window  int32
+//	46: echo    int64   (transport send timestamp, ns)
+//	54... numSACK × {lo int32, hi int32}
+
+// WireVersion is the current header version.
+const WireVersion = 1
+
+// wireMagic identifies a Halfback wire header.
+const wireMagic = 0x4842
+
+// wireFixedLen is the fixed header size in bytes.
+const wireFixedLen = 54
+
+// MarshalPacket encodes the packet header into a fresh byte slice.
+func MarshalPacket(p *Packet) []byte {
+	buf := make([]byte, wireFixedLen+8*p.NumSACK)
+	binary.BigEndian.PutUint16(buf[0:], wireMagic)
+	buf[2] = WireVersion
+	buf[3] = byte(p.Kind)
+	binary.BigEndian.PutUint64(buf[4:], uint64(p.Flow))
+	binary.BigEndian.PutUint32(buf[12:], uint32(p.Src))
+	binary.BigEndian.PutUint32(buf[16:], uint32(p.Dst))
+	binary.BigEndian.PutUint32(buf[20:], uint32(p.Seq))
+	binary.BigEndian.PutUint32(buf[24:], uint32(p.Size))
+	var flags byte
+	if p.Retransmit {
+		flags |= 1
+	}
+	if p.Proactive {
+		flags |= 2
+	}
+	buf[28] = flags
+	buf[29] = byte(p.NumSACK)
+	binary.BigEndian.PutUint32(buf[30:], uint32(p.CumAck))
+	binary.BigEndian.PutUint32(buf[34:], uint32(p.AckedSeq))
+	binary.BigEndian.PutUint32(buf[38:], uint32(p.RecvTotal))
+	binary.BigEndian.PutUint32(buf[42:], uint32(p.Window))
+	binary.BigEndian.PutUint64(buf[46:], uint64(p.Echo))
+	for i := 0; i < p.NumSACK; i++ {
+		off := wireFixedLen + 8*i
+		binary.BigEndian.PutUint32(buf[off:], uint32(p.SACK[i].Lo))
+		binary.BigEndian.PutUint32(buf[off+4:], uint32(p.SACK[i].Hi))
+	}
+	return buf
+}
+
+// Unmarshal errors.
+var (
+	ErrWireTooShort = errors.New("netem: wire buffer too short")
+	ErrWireMagic    = errors.New("netem: bad wire magic")
+	ErrWireVersion  = errors.New("netem: unsupported wire version")
+	ErrWireSACK     = errors.New("netem: invalid SACK count")
+)
+
+// UnmarshalPacket decodes a packet header. It returns the decoded packet
+// and the number of bytes consumed.
+func UnmarshalPacket(buf []byte) (*Packet, int, error) {
+	if len(buf) < wireFixedLen {
+		return nil, 0, ErrWireTooShort
+	}
+	if binary.BigEndian.Uint16(buf[0:]) != wireMagic {
+		return nil, 0, ErrWireMagic
+	}
+	if buf[2] != WireVersion {
+		return nil, 0, fmt.Errorf("%w: %d", ErrWireVersion, buf[2])
+	}
+	numSACK := int(buf[29])
+	if numSACK > MaxSACKBlocks {
+		return nil, 0, fmt.Errorf("%w: %d", ErrWireSACK, numSACK)
+	}
+	total := wireFixedLen + 8*numSACK
+	if len(buf) < total {
+		return nil, 0, ErrWireTooShort
+	}
+	p := &Packet{
+		Kind:      PacketKind(buf[3]),
+		Flow:      FlowID(binary.BigEndian.Uint64(buf[4:])),
+		Src:       NodeID(int32(binary.BigEndian.Uint32(buf[12:]))),
+		Dst:       NodeID(int32(binary.BigEndian.Uint32(buf[16:]))),
+		Seq:       int32(binary.BigEndian.Uint32(buf[20:])),
+		Size:      int(int32(binary.BigEndian.Uint32(buf[24:]))),
+		NumSACK:   numSACK,
+		CumAck:    int32(binary.BigEndian.Uint32(buf[30:])),
+		AckedSeq:  int32(binary.BigEndian.Uint32(buf[34:])),
+		RecvTotal: int32(binary.BigEndian.Uint32(buf[38:])),
+		Window:    int(int32(binary.BigEndian.Uint32(buf[42:]))),
+		Echo:      sim.Time(int64(binary.BigEndian.Uint64(buf[46:]))),
+	}
+	p.Retransmit = buf[28]&1 != 0
+	p.Proactive = buf[28]&2 != 0
+	for i := 0; i < numSACK; i++ {
+		off := wireFixedLen + 8*i
+		p.SACK[i] = SeqRange{
+			Lo: int32(binary.BigEndian.Uint32(buf[off:])),
+			Hi: int32(binary.BigEndian.Uint32(buf[off+4:])),
+		}
+	}
+	return p, total, nil
+}

@@ -1,0 +1,112 @@
+package netem
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"halfback/internal/sim"
+)
+
+func TestWireRoundtrip(t *testing.T) {
+	p := &Packet{
+		Kind: KindAck, Flow: 123456789, Src: 3, Dst: 9,
+		Seq: 42, Size: 1500, Retransmit: true, Proactive: true,
+		NumSACK: 2, CumAck: 40, AckedSeq: 42, RecvTotal: 99,
+		Window: 141000, Echo: sim.Time(777 * sim.Millisecond),
+	}
+	p.SACK[0] = SeqRange{Lo: 44, Hi: 48}
+	p.SACK[1] = SeqRange{Lo: 50, Hi: 51}
+
+	buf := MarshalPacket(p)
+	got, n, err := UnmarshalPacket(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Fatalf("consumed %d of %d", n, len(buf))
+	}
+	// Compare everything except transient link state.
+	want := *p
+	if *got != want {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", *got, want)
+	}
+}
+
+func TestWireRoundtripProperty(t *testing.T) {
+	f := func(kind uint8, flow int64, seq, cum, acked int32, flags uint8, nSACK uint8,
+		lo1, hi1, lo2, hi2 int32) bool {
+		p := &Packet{
+			Kind: PacketKind(kind % 6), Flow: FlowID(flow),
+			Seq: seq, Size: 1500,
+			Retransmit: flags&1 != 0, Proactive: flags&2 != 0,
+			NumSACK: int(nSACK % (MaxSACKBlocks + 1)),
+			CumAck:  cum, AckedSeq: acked,
+		}
+		if p.NumSACK > 0 {
+			p.SACK[0] = SeqRange{Lo: lo1, Hi: hi1}
+		}
+		if p.NumSACK > 1 {
+			p.SACK[1] = SeqRange{Lo: lo2, Hi: hi2}
+		}
+		buf := MarshalPacket(p)
+		got, n, err := UnmarshalPacket(buf)
+		if err != nil || n != len(buf) {
+			return false
+		}
+		return *got == *p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWireRejectsGarbage(t *testing.T) {
+	if _, _, err := UnmarshalPacket(nil); err != ErrWireTooShort {
+		t.Fatalf("nil: %v", err)
+	}
+	if _, _, err := UnmarshalPacket(make([]byte, 10)); err != ErrWireTooShort {
+		t.Fatalf("short: %v", err)
+	}
+	buf := MarshalPacket(&Packet{Kind: KindData, Size: 100})
+	bad := bytes.Clone(buf)
+	bad[0] = 0xff
+	if _, _, err := UnmarshalPacket(bad); err != ErrWireMagic {
+		t.Fatalf("magic: %v", err)
+	}
+	bad = bytes.Clone(buf)
+	bad[2] = 99
+	if _, _, err := UnmarshalPacket(bad); err == nil {
+		t.Fatal("version must be rejected")
+	}
+	bad = bytes.Clone(buf)
+	bad[29] = 17 // absurd SACK count
+	if _, _, err := UnmarshalPacket(bad); err == nil {
+		t.Fatal("SACK count must be validated")
+	}
+	// Truncated SACK area.
+	p := &Packet{Kind: KindAck, NumSACK: 2, Size: 40}
+	full := MarshalPacket(p)
+	if _, _, err := UnmarshalPacket(full[:len(full)-4]); err != ErrWireTooShort {
+		t.Fatalf("truncated sack: %v", err)
+	}
+}
+
+func TestWireUnmarshalDoesNotOverread(t *testing.T) {
+	// Two packets back to back in one buffer: the consumed count lets
+	// a reader walk the stream.
+	a := MarshalPacket(&Packet{Kind: KindData, Seq: 1, Size: 1500})
+	b := MarshalPacket(&Packet{Kind: KindAck, CumAck: 2, NumSACK: 1, Size: 40})
+	stream := append(append([]byte{}, a...), b...)
+	p1, n1, err := UnmarshalPacket(stream)
+	if err != nil || p1.Seq != 1 {
+		t.Fatalf("first: %v", err)
+	}
+	p2, n2, err := UnmarshalPacket(stream[n1:])
+	if err != nil || p2.CumAck != 2 {
+		t.Fatalf("second: %v", err)
+	}
+	if n1+n2 != len(stream) {
+		t.Fatal("stream walk out of step")
+	}
+}

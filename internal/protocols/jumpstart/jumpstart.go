@@ -1,0 +1,181 @@
+// Package jumpstart implements JumpStart [25] as characterised in the
+// paper (§2.2): the sender paces the entire flow (up to the flow-control
+// window) across the first RTT after the handshake, then "falls back to
+// normal TCP with bursty and reactive-only retransmission" — every loss
+// inferred from SACK state is burst out at line rate, and a timeout
+// bursts every outstanding hole. That bursty recovery is precisely the
+// behaviour the paper identifies as JumpStart's safety weakness.
+package jumpstart
+
+import (
+	"halfback/internal/netem"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+)
+
+// Logic is the JumpStart sender.
+type Logic struct {
+	c *transport.Conn
+
+	pacer       *transport.Pacer
+	pacingDone  bool
+	ackedDuring int32 // segments acknowledged while pacing (seeds cwnd)
+
+	// Post-pacing congestion state for flows longer than the initial
+	// window: plain congestion avoidance, per the fallback-to-TCP
+	// behaviour.
+	cwnd       float64
+	retxBudget int
+	// rtoRecovery is set after a timeout: the TCP that JumpStart falls
+	// back to recovers in slow start (cwnd from 1, ACK-clocked), not
+	// with line-rate bursts.
+	rtoRecovery bool
+}
+
+// New returns the Logic factory.
+func New() func(*transport.Conn) transport.Logic {
+	return func(c *transport.Conn) transport.Logic {
+		return &Logic{c: c, retxBudget: 1}
+	}
+}
+
+// PacingComplete reports whether the initial paced RTT has finished.
+func (l *Logic) PacingComplete() bool { return l.pacingDone }
+
+func (l *Logic) OnEstablished(now sim.Time) {
+	// Pace min(flow, fcw) across the handshake RTT.
+	hi := l.c.NumSegs
+	if w := l.c.FcwSegs(); hi > w {
+		hi = w
+	}
+	rtt := l.c.Stats.HandshakeRTT
+	if rtt <= 0 {
+		rtt = 1 * sim.Millisecond
+	}
+	l.pacer = l.c.PaceRange(0, hi, rtt, func(t sim.Time) {
+		l.pacingDone = true
+		l.cwnd = float64(l.ackedDuring)
+		if l.cwnd < 2 {
+			l.cwnd = 2
+		}
+	})
+}
+
+func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
+	if !l.pacingDone {
+		l.ackedDuring += up.NewCumAcked + up.NewSacked
+	} else if up.NewCumAcked > 0 {
+		if l.rtoRecovery {
+			l.cwnd += float64(up.NewCumAcked) // slow start after timeout
+		} else {
+			l.cwnd += float64(up.NewCumAcked) / maxf(l.cwnd, 1) // congestion avoidance
+		}
+	}
+
+	if l.rtoRecovery {
+		// Post-timeout: normal TCP semantics — retransmit holes in
+		// slow start, clocked by returning ACKs and bounded by cwnd.
+		l.slowStartRecovery(now)
+		if len(l.c.Score.Holes()) == 0 {
+			l.rtoRecovery = false
+		}
+	} else {
+		// Bursty reactive recovery: every segment newly deemed lost is
+		// burst out at line rate, all at once, with no pacing or pipe
+		// limit — the aggressive fast-retransmit behaviour the paper
+		// criticises. A retransmission that is lost again can only be
+		// recovered by the retransmission timeout ("the sender needs
+		// to wait until timeout when the retransmitted packets are
+		// lost", §4.2.3).
+		l.burstRetransmit(now)
+	}
+
+	// Window-limited new data for flows longer than the paced range.
+	l.pumpNew(now)
+}
+
+// slowStartRecovery retransmits marked holes while the pipe has room
+// under the (re-growing) window.
+func (l *Logic) slowStartRecovery(now sim.Time) {
+	sc := l.c.Score
+	guard := 0
+	for float64(sc.Pipe(l.c.Opts.DupThresh)) < l.cwnd {
+		guard++
+		if guard > 4096 {
+			panic("jumpstart: slow-start recovery did not converge")
+		}
+		lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget)
+		if lost < 0 {
+			return
+		}
+		l.c.SendSegment(lost, true, false, now)
+	}
+}
+
+// OnRTO applies the fallback TCP's timeout semantics: all outstanding
+// data is presumed lost, the window collapses to one segment, and the
+// first hole is retransmitted; the rest follow in slow start. The damage
+// a timeout does to JumpStart is therefore the *latency* of the 1 s RTO
+// itself plus the slow rebuild — which its loss-prone line-rate bursts
+// make it pay far more often than the paced schemes.
+func (l *Logic) OnRTO(now sim.Time) {
+	l.retxBudget++
+	l.rtoRecovery = true
+	l.cwnd = 1
+	sc := l.c.Score
+	sc.MarkOutstandingLost()
+	if seq := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget); seq >= 0 {
+		l.c.SendSegment(seq, true, false, now)
+	}
+}
+
+// OnDone stops the pacer if the flow finished mid-pacing (possible when
+// every segment is acknowledged from retransmissions).
+func (l *Logic) OnDone(now sim.Time) {
+	if l.pacer != nil {
+		l.pacer.Stop()
+	}
+}
+
+func (l *Logic) burstRetransmit(now sim.Time) {
+	sc := l.c.Score
+	guard := 0
+	for {
+		guard++
+		if guard > 1<<16 {
+			panic("jumpstart: burst retransmit did not converge")
+		}
+		lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget)
+		if lost < 0 {
+			return
+		}
+		l.c.SendSegment(lost, true, false, now)
+	}
+}
+
+// pumpNew sends new data beyond the paced range once pacing finished,
+// clocked by the congestion window like the TCP fallback.
+func (l *Logic) pumpNew(now sim.Time) {
+	if !l.pacingDone || l.c.Finished() {
+		return
+	}
+	sc := l.c.Score
+	for {
+		next := sc.HighSent() + 1
+		if next >= l.c.NumSegs || next >= l.c.WindowLimit() {
+			return
+		}
+		inFlight := float64(next - sc.CumAck() - sc.SackedAboveCum())
+		if inFlight >= l.cwnd {
+			return
+		}
+		l.c.SendSegment(next, false, false, now)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,301 @@
+// Package pcp implements PCP (Probe Control Protocol, Anderson et al.,
+// NSDI 2006) as characterised in the paper (§2.2, §4.2.3): the sender
+// emits short paced packet trains to probe for available bandwidth, sets
+// its sending rate to the measured value, and — critically — refuses to
+// ramp while the one-way queueing delay is increasing during a probe.
+// Competing TCP flows keep the bottleneck queue growing, so PCP's probes
+// keep failing and it ends up more conservative than the competition;
+// probing also costs round trips before any data moves. Both effects are
+// what the paper's Figs. 10, 12 and 14 show.
+//
+// This is a re-implementation from the protocol's published description
+// (the paper used the authors' userspace code, which is not available);
+// DESIGN.md records the substitution.
+package pcp
+
+import (
+	"halfback/internal/netem"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+)
+
+// Tunables for the probe process.
+const (
+	// ProbeTrainLen is the number of packets per probe train.
+	ProbeTrainLen = 5
+	// ProbeSize is the wire size of one probe packet. PCP probes with
+	// full-size packets: a train at the target rate must itself induce
+	// queue growth when the rate exceeds the available bandwidth, and
+	// only MTU-sized probes displace enough bytes to measure that.
+	ProbeSize = netem.SegmentSize
+	// MaxProbeRounds bounds the startup search; after this many
+	// failures the sender proceeds at its floor rate rather than
+	// probing forever.
+	MaxProbeRounds = 6
+)
+
+// Logic is the PCP sender.
+type Logic struct {
+	c *transport.Conn
+
+	rate       float64 // current verified-or-target rate, bytes/sec
+	floorRate  float64
+	probing    bool
+	probeRound int
+	probeBase  int32 // Seq of the round's first probe packet
+	probeSeq   int32 // next probe sequence number to allocate
+	owd        [ProbeTrainLen]sim.Duration
+	got        [ProbeTrainLen]bool
+	gotCount   int
+
+	probeSent [ProbeTrainLen]sim.Time
+
+	probeTimer *sim.Timer
+	tickTimer  *sim.Timer
+	ticking    bool
+
+	retxBudget int
+	failures   int64
+	rounds     int64
+}
+
+// New returns the Logic factory.
+func New() func(*transport.Conn) transport.Logic {
+	return func(c *transport.Conn) transport.Logic {
+		return &Logic{c: c, retxBudget: 1}
+	}
+}
+
+// Rate returns the current sending rate in bytes/sec, for tests.
+func (l *Logic) Rate() float64 { return l.rate }
+
+// ProbeRounds returns how many probe trains were sent.
+func (l *Logic) ProbeRounds() int64 { return l.rounds }
+
+// ProbeFailures returns how many probe rounds detected rising delay.
+func (l *Logic) ProbeFailures() int64 { return l.failures }
+
+func (l *Logic) OnEstablished(now sim.Time) {
+	rtt := l.c.Stats.HandshakeRTT
+	if rtt <= 0 {
+		rtt = 100 * sim.Millisecond
+	}
+	// Optimistic first target: the whole flow (or window) in one RTT —
+	// the same ceiling the pacing schemes use. The floor is one
+	// segment per RTT, TCP's minimum pace.
+	winBytes := int(l.c.FcwSegs()) * netem.SegmentPayload
+	target := l.c.FlowBytes
+	if target > winBytes {
+		target = winBytes
+	}
+	l.rate = float64(target) / rtt.Seconds()
+	l.floorRate = float64(netem.SegmentSize) / rtt.Seconds()
+	if l.rate < l.floorRate {
+		l.rate = l.floorRate
+	}
+	l.startProbe(now)
+}
+
+// startProbe sends one paced probe train at the current target rate.
+func (l *Logic) startProbe(now sim.Time) {
+	if l.c.Finished() {
+		return
+	}
+	l.probing = true
+	l.rounds++
+	l.probeBase = l.probeSeq
+	l.gotCount = 0
+	for i := range l.got {
+		l.got[i] = false
+	}
+	interval := l.interval()
+	for i := 0; i < ProbeTrainLen; i++ {
+		seq := l.probeSeq
+		l.probeSeq++
+		idx := i
+		d := sim.Duration(i) * interval
+		l.c.Sched().After(d, func(t sim.Time) {
+			if l.c.Finished() {
+				return
+			}
+			l.probeSent[idx] = t
+			pkt := &netem.Packet{
+				Kind: netem.KindProbe, Flow: l.c.ID,
+				Src: l.c.SrcNode(), Dst: l.c.DstNode(),
+				Seq: seq, Size: ProbeSize, Echo: t, AckedSeq: -1,
+			}
+			l.c.Net().Inject(pkt, t)
+		})
+	}
+	// Probe verdict deadline: the train plus two RTTs of grace. A
+	// train whose acks never arrive counts as a failure (loss is a
+	// stronger congestion signal than delay).
+	srtt := l.c.RTT.SRTT()
+	if srtt <= 0 {
+		srtt = 100 * sim.Millisecond
+	}
+	deadline := sim.Duration(ProbeTrainLen)*interval + 2*srtt
+	l.probeTimer = l.c.Sched().After(deadline, func(t sim.Time) {
+		if l.probing {
+			l.probeVerdict(false, t)
+		}
+	})
+}
+
+// interval returns the packet spacing that emulates data at the current
+// rate.
+func (l *Logic) interval() sim.Duration {
+	if l.rate <= 0 {
+		return sim.Second
+	}
+	return sim.Duration(float64(netem.SegmentSize) / l.rate * float64(sim.Second))
+}
+
+func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
+	if pkt.Kind == netem.KindProbeAck {
+		l.onProbeAck(pkt, now)
+		return
+	}
+	// Data ACK: infer loss, halve on new loss events, keep the paced
+	// stream ticking if there is more to send.
+	sc := l.c.Score
+	if lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget); lost >= 0 {
+		l.rate = maxf(l.rate/2, l.floorRate)
+	}
+	if !l.ticking && !l.probing {
+		l.startTicking(now)
+	}
+}
+
+func (l *Logic) onProbeAck(pkt *netem.Packet, now sim.Time) {
+	if !l.probing {
+		return
+	}
+	idx := pkt.Seq - l.probeBase
+	if idx < 0 || idx >= ProbeTrainLen || l.got[idx] {
+		return
+	}
+	l.got[idx] = true
+	l.owd[idx] = pkt.OWD
+	l.gotCount++
+	if l.gotCount == ProbeTrainLen {
+		// Delay-trend test: a train that raised the one-way delay by
+		// more than half a packet serialization time was above the
+		// available bandwidth.
+		trend := l.owd[ProbeTrainLen-1] - l.owd[0]
+		threshold := l.interval() / 2
+		if threshold > 500*sim.Microsecond {
+			// PCP's delay test is fine-grained: a sustained rise of
+			// even half a millisecond across a train means someone
+			// else is filling the queue.
+			threshold = 500 * sim.Microsecond
+		}
+		ok := trend <= threshold
+		if ok {
+			// Dispersion test (the heart of PCP's estimator): probe
+			// arrival spacing stretches by exactly the cross traffic
+			// serialized between probes, so the available bandwidth
+			// is the probing rate scaled by sent/received spacing.
+			sentSpan := l.probeSent[ProbeTrainLen-1].Sub(l.probeSent[0])
+			recvSpan := sentSpan + (l.owd[ProbeTrainLen-1] - l.owd[0])
+			first := l.probeSent[0].Add(l.owd[0])
+			last := l.probeSent[ProbeTrainLen-1].Add(l.owd[ProbeTrainLen-1])
+			if m := last.Sub(first); m > recvSpan {
+				recvSpan = m
+			}
+			if recvSpan > sentSpan && sentSpan > 0 {
+				l.rate = maxf(l.rate*float64(sentSpan)/float64(recvSpan), l.floorRate)
+			}
+		}
+		l.probeVerdict(ok, now)
+	}
+}
+
+func (l *Logic) probeVerdict(ok bool, now sim.Time) {
+	if l.probeTimer != nil {
+		l.probeTimer.Stop()
+	}
+	l.probing = false
+	if ok || l.rounds >= MaxProbeRounds {
+		if !ok {
+			l.failures++
+			l.rate = maxf(l.rate/2, l.floorRate)
+		}
+		l.startTicking(now)
+		return
+	}
+	l.failures++
+	l.rate = maxf(l.rate/2, l.floorRate)
+	// PCP pauses before re-probing, yielding to whatever is building
+	// the queue.
+	srtt := l.c.RTT.SRTT()
+	if srtt <= 0 {
+		srtt = 100 * sim.Millisecond
+	}
+	l.c.Sched().After(srtt, func(t sim.Time) {
+		if !l.c.Finished() {
+			l.startProbe(t)
+		}
+	})
+}
+
+// startTicking begins (or resumes) the paced data stream at the current
+// rate.
+func (l *Logic) startTicking(now sim.Time) {
+	if l.ticking || l.c.Finished() {
+		return
+	}
+	l.ticking = true
+	l.tick(now)
+}
+
+func (l *Logic) tick(now sim.Time) {
+	if l.c.Finished() {
+		l.ticking = false
+		return
+	}
+	sc := l.c.Score
+	sent := false
+	if lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget); lost >= 0 {
+		l.c.SendSegment(lost, true, false, now)
+		sent = true
+	} else if next := sc.HighSent() + 1; next < l.c.NumSegs && next < l.c.WindowLimit() {
+		l.c.SendSegment(next, false, false, now)
+		sent = true
+	}
+	if !sent {
+		// Nothing sendable: stop; an ACK or RTO restarts the stream.
+		l.ticking = false
+		return
+	}
+	l.tickTimer = l.c.Sched().After(l.interval(), l.tick)
+}
+
+func (l *Logic) OnRTO(now sim.Time) {
+	l.retxBudget++
+	l.rate = maxf(l.rate/2, l.floorRate)
+	sc := l.c.Score
+	if seq := sc.CumAck(); seq < l.c.NumSegs && sc.SentOnce(seq) && !sc.IsAcked(seq) {
+		l.c.SendSegment(seq, true, false, now)
+	}
+	if !l.ticking && !l.probing {
+		l.startTicking(now)
+	}
+}
+
+// OnDone stops the protocol's private timers.
+func (l *Logic) OnDone(now sim.Time) {
+	if l.probeTimer != nil {
+		l.probeTimer.Stop()
+	}
+	if l.tickTimer != nil {
+		l.tickTimer.Stop()
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,33 @@
+// Package proactive implements Proactive TCP from "Reducing web latency:
+// the virtue of gentle aggression" [18] as characterised in the paper
+// (§2.2): for short flows it "transmits two copies of every packet",
+// trading 100% bandwidth redundancy for loss insurance. The duplicate is
+// marked proactive so the normal-retransmission metric stays comparable.
+package proactive
+
+import (
+	"halfback/internal/protocols/tcp"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+)
+
+// New returns the Logic factory: a Reno engine whose send hook emits a
+// back-to-back duplicate of every first transmission. Reactive
+// retransmissions are not doubled (the scheme's redundancy targets fresh
+// data; doubling recovery traffic would only add to its safety problems,
+// and [18] describes per-packet duplication of the flow's data).
+func New(icw int32) func(*transport.Conn) transport.Logic {
+	return func(c *transport.Conn) transport.Logic {
+		conf := tcp.Config{InitialWindow: icw}
+		conf.OnSend = func(seq int32, retransmit bool, now sim.Time) {
+			if retransmit || c.Finished() {
+				return
+			}
+			// The duplicate is a proactive retransmission in the
+			// paper's accounting: redundant data sent without any
+			// loss signal.
+			c.SendSegment(seq, true, true, now)
+		}
+		return tcp.NewReno(c, conf)
+	}
+}

@@ -1,0 +1,110 @@
+// Package reactive implements Reactive TCP from "Reducing web latency:
+// the virtue of gentle aggression" [18], as evaluated in the paper: TCP
+// augmented with a probe timeout (PTO) that retransmits the last
+// outstanding segment well before the retransmission timeout would fire,
+// converting tail losses into SACK-recoverable ones.
+package reactive
+
+import (
+	"halfback/internal/netem"
+	"halfback/internal/protocols/tcp"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+)
+
+// MinPTO is the probe-timeout floor (the TLP draft's 10 ms).
+const MinPTO = 10 * sim.Millisecond
+
+// Logic is Reactive TCP: an embedded Reno engine plus the tail probe.
+type Logic struct {
+	reno *tcp.Reno
+	c    *transport.Conn
+
+	pto      *sim.Timer
+	probes   int64
+	maxProbe int
+}
+
+// New returns the Logic factory. icw is the initial congestion window
+// (Reactive TCP keeps the paper's default of 2).
+func New(icw int32) func(*transport.Conn) transport.Logic {
+	return func(c *transport.Conn) transport.Logic {
+		return &Logic{
+			reno:     tcp.NewReno(c, tcp.Config{InitialWindow: icw}),
+			c:        c,
+			maxProbe: 2, // at most two probes per tail episode, then RTO
+		}
+	}
+}
+
+// Probes reports how many tail probes this flow sent.
+func (l *Logic) Probes() int64 { return l.probes }
+
+func (l *Logic) OnEstablished(now sim.Time) {
+	l.reno.OnEstablished(now)
+	l.armPTO(now, 0)
+}
+
+func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
+	l.reno.OnAck(pkt, up, now)
+	if !up.Duplicate {
+		l.armPTO(now, 0) // forward progress resets the probe budget
+	}
+}
+
+func (l *Logic) OnRTO(now sim.Time) {
+	l.cancelPTO()
+	l.reno.OnRTO(now)
+	l.armPTO(now, 0)
+}
+
+// OnDone releases the probe timer.
+func (l *Logic) OnDone(now sim.Time) {
+	l.cancelPTO()
+	l.reno.OnDone(now)
+}
+
+func (l *Logic) cancelPTO() {
+	if l.pto != nil {
+		l.pto.Stop()
+	}
+}
+
+// armPTO schedules the tail probe: PTO = max(2·SRTT, MinPTO). attempt
+// tracks consecutive probes without forward progress.
+func (l *Logic) armPTO(now sim.Time, attempt int) {
+	l.cancelPTO()
+	if l.c.Finished() || attempt >= l.maxProbe {
+		return
+	}
+	srtt := l.c.RTT.SRTT()
+	if srtt <= 0 {
+		srtt = 100 * sim.Millisecond
+	}
+	pto := 2 * srtt
+	if pto < MinPTO {
+		pto = MinPTO
+	}
+	l.pto = l.c.Sched().After(pto, func(t sim.Time) {
+		l.fireProbe(t, attempt)
+	})
+}
+
+func (l *Logic) fireProbe(now sim.Time, attempt int) {
+	if l.c.Finished() {
+		return
+	}
+	sc := l.c.Score
+	// Only probe a genuine tail: outstanding data with nothing new to
+	// send (either flow exhausted or window-limited).
+	seq := sc.HighestUnacked()
+	if seq < 0 {
+		return
+	}
+	l.probes++
+	// The probe is a reactive retransmission — triggered by suspicion
+	// of loss — so it counts as a normal retransmission, as in the
+	// paper's accounting.
+	l.c.SendSegment(seq, true, false, now)
+	l.armPTO(now, attempt+1)
+}

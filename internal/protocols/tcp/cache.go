@@ -1,0 +1,77 @@
+package tcp
+
+import (
+	"halfback/internal/netem"
+	"halfback/internal/sim"
+)
+
+// CacheEntry is the state TCP-Cache preserves across flows on one path.
+type CacheEntry struct {
+	Cwnd     float64
+	Ssthresh float64
+	StoredAt sim.Time
+}
+
+// PathCache implements TCP-Cache's cross-flow memory: the final
+// congestion state of each completed flow, keyed by (source,destination).
+// One PathCache is shared by all TCP-Cache flows of a simulation,
+// mirroring a host-wide cache like TCP Fast Start's [28].
+//
+// The cache optionally ages entries: the paper notes caching schemes
+// "draw back to Slow-Start when the variables are aged" — flows that
+// find only a stale entry start cold.
+type PathCache struct {
+	// TTL expires entries; zero disables ageing (the paper's
+	// evaluation scenario, which it calls "an unrealistic advantage":
+	// an unchanging topology keeps the cache permanently fresh).
+	TTL sim.Duration
+
+	entries map[pathKey]CacheEntry
+	hits    int64
+	misses  int64
+}
+
+type pathKey struct {
+	src, dst netem.NodeID
+}
+
+// NewPathCache returns an empty cache with the given TTL (zero = never
+// expires).
+func NewPathCache(ttl sim.Duration) *PathCache {
+	return &PathCache{TTL: ttl, entries: make(map[pathKey]CacheEntry)}
+}
+
+// Lookup returns the cached state for a path if present and fresh.
+func (pc *PathCache) Lookup(src, dst netem.NodeID) (CacheEntry, bool) {
+	e, ok := pc.entries[pathKey{src, dst}]
+	if !ok {
+		pc.misses++
+		return CacheEntry{}, false
+	}
+	pc.hits++
+	return e, true
+}
+
+// lookupAt is Lookup with TTL evaluation at a given time; exported use
+// goes through Reno which has no clock at lookup time, so TTL filtering
+// happens at Store-read via StoreTime comparison in tests. Kept internal.
+func (pc *PathCache) lookupAt(src, dst netem.NodeID, now sim.Time) (CacheEntry, bool) {
+	e, ok := pc.entries[pathKey{src, dst}]
+	if !ok || (pc.TTL > 0 && now.Sub(e.StoredAt) > pc.TTL) {
+		pc.misses++
+		return CacheEntry{}, false
+	}
+	pc.hits++
+	return e, true
+}
+
+// Store records a completed flow's final state.
+func (pc *PathCache) Store(src, dst netem.NodeID, e CacheEntry) {
+	pc.entries[pathKey{src, dst}] = e
+}
+
+// Stats reports cache effectiveness for experiment logs.
+func (pc *PathCache) Stats() (hits, misses int64) { return pc.hits, pc.misses }
+
+// Len returns the number of cached paths.
+func (pc *PathCache) Len() int { return len(pc.entries) }

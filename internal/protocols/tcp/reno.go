@@ -1,0 +1,190 @@
+// Package tcp implements the baseline schemes of the paper's §4: vanilla
+// TCP (Reno congestion control with SACK-based loss recovery, 2-segment
+// initial window), TCP-10 (initial window of 10 segments, [6,15]) and
+// TCP-Cache (per-path caching of cwnd/ssthresh, after TCP Fast Start).
+//
+// The implementation follows RFC 5681 (congestion control), RFC 6675
+// (SACK-based recovery and pipe estimation) and Karn's rule, on top of
+// the shared transport substrate.
+package tcp
+
+import (
+	"halfback/internal/netem"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+)
+
+// Config selects the TCP variant.
+type Config struct {
+	// InitialWindow is the initial congestion window in segments.
+	// The paper defaults TCP to 2 segments (§4.1); TCP-10 uses 10.
+	InitialWindow int32
+
+	// Cache, when non-nil, makes the sender a TCP-Cache flow: the
+	// initial cwnd/ssthresh come from the last completed flow on the
+	// same (src,dst) path, and final values are written back.
+	Cache *PathCache
+
+	// OnSend, when non-nil, runs after every data transmission; the
+	// Proactive TCP wrapper uses it to emit duplicate copies.
+	OnSend func(seq int32, retransmit bool, now sim.Time)
+}
+
+// Reno is the protocol logic. It is exported so the Reactive and
+// Proactive packages can wrap it.
+type Reno struct {
+	C    *transport.Conn
+	Conf Config
+
+	Cwnd     float64 // congestion window, segments
+	Ssthresh float64
+
+	inRecovery    bool
+	recoveryPoint int32
+	// retxBudget is how many retransmissions of one segment the
+	// SACK-recovery path may issue; it grows with timeouts so a flow
+	// can always eventually make progress.
+	retxBudget int
+}
+
+// New returns a Logic factory for the given configuration.
+func New(conf Config) func(*transport.Conn) transport.Logic {
+	return func(c *transport.Conn) transport.Logic { return NewReno(c, conf) }
+}
+
+// NewReno constructs the Reno logic on a connection.
+func NewReno(c *transport.Conn, conf Config) *Reno {
+	if conf.InitialWindow <= 0 {
+		conf.InitialWindow = 2
+	}
+	return &Reno{
+		C: c, Conf: conf,
+		Cwnd:       float64(conf.InitialWindow),
+		Ssthresh:   1 << 20, // "infinite": slow start until first loss
+		retxBudget: 1,
+	}
+}
+
+// OnEstablished seeds the window (from the cache if warm) and sends the
+// initial burst.
+func (r *Reno) OnEstablished(now sim.Time) {
+	if r.Conf.Cache != nil {
+		if e, ok := r.Conf.Cache.Lookup(r.C.SrcNode(), r.C.DstNode()); ok {
+			if e.Cwnd >= 1 {
+				r.Cwnd = e.Cwnd
+			}
+			if e.Ssthresh >= 2 {
+				r.Ssthresh = e.Ssthresh
+			}
+		}
+	}
+	r.pump(now)
+}
+
+// OnAck advances the window and drives RFC 6675-style recovery.
+func (r *Reno) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
+	sc := r.C.Score
+
+	if up.NewCumAcked > 0 {
+		if r.inRecovery && sc.CumAck() > r.recoveryPoint {
+			// Recovery complete: deflate to ssthresh.
+			r.inRecovery = false
+			r.Cwnd = r.Ssthresh
+		}
+		if !r.inRecovery {
+			if r.Cwnd < r.Ssthresh {
+				r.Cwnd += float64(up.NewCumAcked) // slow start
+			} else {
+				r.Cwnd += float64(up.NewCumAcked) / r.Cwnd // congestion avoidance
+			}
+		}
+	}
+
+	// Loss inference: a hole with DupThresh SACKed segments above it.
+	if !r.inRecovery {
+		if lost := sc.NextLost(sc.CumAck(), r.C.Opts.DupThresh, r.retxBudget); lost >= 0 {
+			r.enterRecovery(now)
+		}
+	}
+	r.pump(now)
+}
+
+func (r *Reno) enterRecovery(now sim.Time) {
+	sc := r.C.Score
+	pipe := float64(sc.Pipe(r.C.Opts.DupThresh))
+	r.Ssthresh = maxf(pipe/2, 2)
+	r.Cwnd = r.Ssthresh
+	r.inRecovery = true
+	r.recoveryPoint = sc.HighSent()
+}
+
+// OnRTO collapses the window, presumes all outstanding data lost (RFC
+// 5681), and retransmits the first hole; subsequent holes follow in slow
+// start as ACKs return.
+func (r *Reno) OnRTO(now sim.Time) {
+	sc := r.C.Score
+	pipe := float64(sc.Pipe(r.C.Opts.DupThresh))
+	r.Ssthresh = maxf(pipe/2, 2)
+	r.Cwnd = 1
+	r.inRecovery = false
+	r.retxBudget++
+	sc.MarkOutstandingLost()
+	r.transmit(sc.CumAck(), true, now)
+}
+
+// OnDone writes the final window back to the path cache.
+func (r *Reno) OnDone(now sim.Time) {
+	if r.Conf.Cache != nil {
+		r.Conf.Cache.Store(r.C.SrcNode(), r.C.DstNode(), CacheEntry{
+			Cwnd: r.Cwnd, Ssthresh: r.Ssthresh, StoredAt: now,
+		})
+	}
+}
+
+// Pump exposes the window-filling loop so schemes that fall back to TCP
+// mid-flow (Halfback §3.3) can drive the engine directly.
+func (r *Reno) Pump(now sim.Time) { r.pump(now) }
+
+// transmit sends one segment through the conn and the OnSend hook.
+func (r *Reno) transmit(seq int32, retransmit bool, now sim.Time) {
+	r.C.SendSegment(seq, retransmit, false, now)
+	if r.Conf.OnSend != nil {
+		r.Conf.OnSend(seq, retransmit, now)
+	}
+}
+
+// pump fills the window: retransmissions of inferred losses first (RFC
+// 6675 NextSeg rule), then new data, while the pipe has room.
+func (r *Reno) pump(now sim.Time) {
+	if r.C.Finished() || !r.C.Established() {
+		return
+	}
+	sc := r.C.Score
+	guard := 0
+	for {
+		guard++
+		if guard > 4096 {
+			panic("tcp: pump did not converge")
+		}
+		pipe := sc.Pipe(r.C.Opts.DupThresh)
+		if float64(pipe) >= r.Cwnd {
+			return
+		}
+		if lost := sc.NextLost(sc.CumAck(), r.C.Opts.DupThresh, r.retxBudget); lost >= 0 {
+			r.transmit(lost, true, now)
+			continue
+		}
+		next := sc.HighSent() + 1
+		if next >= r.C.NumSegs || next >= r.C.WindowLimit() {
+			return
+		}
+		r.transmit(next, false, now)
+	}
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,115 @@
+// Package ptest provides the miniature worlds protocol tests run in: a
+// single bottleneck path or a small dumbbell, with packet-tap hooks for
+// asserting on wire behaviour.
+package ptest
+
+import (
+	"halfback/internal/netem"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+)
+
+// World is a two-host path with transport stacks attached.
+type World struct {
+	Sched  *sim.Scheduler
+	Path   *netem.Path
+	Client *transport.Stack // receiver side
+	Server *transport.Stack // sender side
+	nextID netem.FlowID
+}
+
+// NewWorld builds a path world; zero-value fields of cfg get sane
+// defaults (10 Mbps, 100 ms RTT, 1 MB buffer).
+func NewWorld(cfg netem.PathConfig) *World {
+	if cfg.RateBps == 0 {
+		cfg.RateBps = 10 * netem.Mbps
+	}
+	if cfg.RTT == 0 {
+		cfg.RTT = 100 * sim.Millisecond
+	}
+	if cfg.BufferBytes == 0 {
+		cfg.BufferBytes = 1 << 20
+	}
+	sched := sim.NewScheduler()
+	sched.MaxEvents = 50_000_000
+	p := netem.NewPath(sched, sim.NewRand(1), cfg)
+	return &World{
+		Sched:  sched,
+		Path:   p,
+		Client: transport.NewStack(p.Net, p.Client),
+		Server: transport.NewStack(p.Net, p.Server),
+	}
+}
+
+// Dial creates (but does not start) a server→client download.
+func (w *World) Dial(bytes int, opts transport.Options, mk func(*transport.Conn) transport.Logic) *transport.Conn {
+	w.nextID++
+	return transport.NewConn(w.nextID, w.Server, w.Client, bytes, opts, mk, nil)
+}
+
+// Transfer runs one download to completion (or the 300 s deadline) and
+// returns its stats.
+func (w *World) Transfer(bytes int, mk func(*transport.Conn) transport.Logic) *transport.FlowStats {
+	conn := w.Dial(bytes, transport.Options{}, mk)
+	conn.Start(w.Sched.Now())
+	w.Sched.RunUntil(w.Sched.Now().Add(300 * sim.Second))
+	conn.Abort()
+	return conn.Stats
+}
+
+// TapClient interposes on packets delivered to the client (data
+// direction); return false from keep to swallow the packet.
+func (w *World) TapClient(keep func(pkt *netem.Packet, now sim.Time) bool) {
+	inner := w.Path.Client.Deliver
+	w.Path.Client.Deliver = func(pkt *netem.Packet, now sim.Time) {
+		if keep(pkt, now) {
+			inner(pkt, now)
+		}
+	}
+}
+
+// TapServer interposes on packets delivered to the server (ACK
+// direction).
+func (w *World) TapServer(keep func(pkt *netem.Packet, now sim.Time) bool) {
+	inner := w.Path.Server.Deliver
+	w.Path.Server.Deliver = func(pkt *netem.Packet, now sim.Time) {
+		if keep(pkt, now) {
+			inner(pkt, now)
+		}
+	}
+}
+
+// DropDataSeqs swallows the FIRST copy of each listed data segment.
+func (w *World) DropDataSeqs(seqs ...int32) {
+	pending := make(map[int32]bool, len(seqs))
+	for _, s := range seqs {
+		pending[s] = true
+	}
+	w.TapClient(func(pkt *netem.Packet, now sim.Time) bool {
+		if pkt.Kind == netem.KindData && pending[pkt.Seq] {
+			delete(pending, pkt.Seq)
+			return false
+		}
+		return true
+	})
+}
+
+// CountData returns a pointer that tracks data packets reaching the
+// client, split by first-copy vs retransmission.
+func (w *World) CountData() (first, retx, proactive *int) {
+	f, r, p := new(int), new(int), new(int)
+	w.TapClient(func(pkt *netem.Packet, now sim.Time) bool {
+		if pkt.Kind == netem.KindData {
+			switch {
+			case pkt.Proactive:
+				*p++
+			case pkt.Retransmit:
+				*r++
+			default:
+				*f++
+			}
+		}
+		return true
+	})
+	return f, r, p
+}

@@ -1,0 +1,81 @@
+package scheme
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEverySchemeInstantiates(t *testing.T) {
+	for _, name := range AllNames() {
+		inst, err := New(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if inst.Name != name || inst.Make == nil {
+			t.Fatalf("%s: bad instance %+v", name, inst)
+		}
+	}
+}
+
+func TestUnknownSchemeErrors(t *testing.T) {
+	_, err := New("Warpspeed")
+	if err == nil {
+		t.Fatal("unknown scheme must error")
+	}
+	if !strings.Contains(err.Error(), "Warpspeed") {
+		t.Fatalf("error should name the scheme: %v", err)
+	}
+}
+
+func TestMustNewPanicsOnUnknown(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustNew must panic for unknown names")
+		}
+	}()
+	MustNew("nope")
+}
+
+func TestTCPCacheGetsFreshCachePerInstance(t *testing.T) {
+	a := MustNew(TCPCache)
+	b := MustNew(TCPCache)
+	if a.Cache == nil || b.Cache == nil {
+		t.Fatal("TCP-Cache instances must expose their cache")
+	}
+	if a.Cache == b.Cache {
+		t.Fatal("separate simulations must not share a path cache")
+	}
+	if MustNew(TCP).Cache != nil {
+		t.Fatal("non-cache schemes must not carry a cache")
+	}
+}
+
+func TestEvaluatedIsSubsetOfAll(t *testing.T) {
+	all := map[string]bool{}
+	for _, n := range AllNames() {
+		all[n] = true
+	}
+	ev := Evaluated()
+	if len(ev) != 8 {
+		t.Fatalf("the paper evaluates eight schemes, got %d", len(ev))
+	}
+	for _, n := range ev {
+		if !all[n] {
+			t.Fatalf("evaluated scheme %q not in registry", n)
+		}
+	}
+}
+
+func TestAllNamesSortedAndUnique(t *testing.T) {
+	names := AllNames()
+	seen := map[string]bool{}
+	for i, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate name %q", n)
+		}
+		seen[n] = true
+		if i > 0 && names[i-1] >= n {
+			t.Fatal("names must be sorted")
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandSeedZeroRemapped(t *testing.T) {
+	z := NewRand(0)
+	if z.Uint64() == 0 && z.Uint64() == 0 {
+		t.Fatal("zero seed should still generate entropy")
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := NewRand(7)
+	c1 := parent.Fork()
+	c2 := parent.Fork()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("sibling forks produced %d identical draws", same)
+	}
+}
+
+func TestForkNamedStable(t *testing.T) {
+	a := NewRand(7).ForkNamed("arrivals")
+	b := NewRand(7).ForkNamed("arrivals")
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-named fork from same seed must match")
+		}
+	}
+	c := NewRand(7).ForkNamed("other")
+	d := NewRand(7).ForkNamed("arrivals")
+	diff := false
+	for i := 0; i < 100; i++ {
+		if c.Uint64() != d.Uint64() {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different labels must yield different streams")
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	f := func(uint8) bool {
+		v := r.Float64()
+		return v >= 0 && v < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(2)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(3)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.2 {
+		t.Fatalf("exponential mean %v, want ≈10", mean)
+	}
+}
+
+func TestExpDurationPositive(t *testing.T) {
+	r := NewRand(4)
+	for i := 0; i < 1000; i++ {
+		if d := r.ExpDuration(Duration(1)); d < 1 {
+			t.Fatalf("ExpDuration returned %v < 1ns", d)
+		}
+	}
+}
+
+func TestLogUniformRange(t *testing.T) {
+	r := NewRand(5)
+	lo, hi := 0.2, 400.0
+	var below, above int
+	for i := 0; i < 100000; i++ {
+		v := r.LogUniform(lo, hi)
+		if v < lo || v >= hi {
+			t.Fatalf("LogUniform out of range: %v", v)
+		}
+		// Log-uniform: half the draws fall below the geometric mean.
+		if gm := math.Sqrt(lo * hi); v < gm {
+			below++
+		} else {
+			above++
+		}
+	}
+	ratio := float64(below) / float64(below+above)
+	if math.Abs(ratio-0.5) > 0.01 {
+		t.Fatalf("log-uniform median should sit at the geometric mean; below-fraction %v", ratio)
+	}
+}
+
+func TestLogUniformPanicsOnBadBounds(t *testing.T) {
+	r := NewRand(6)
+	for _, c := range [][2]float64{{0, 1}, {-1, 1}, {2, 2}, {3, 1}} {
+		func() {
+			defer func() { recover() }()
+			r.LogUniform(c[0], c[1])
+			t.Fatalf("LogUniform(%v,%v) should panic", c[0], c[1])
+		}()
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(7)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sq += (v - 5) * (v - 5)
+	}
+	mean := sum / n
+	std := math.Sqrt(sq / n)
+	if math.Abs(mean-5) > 0.05 || math.Abs(std-2) > 0.05 {
+		t.Fatalf("normal moments mean=%v std=%v", mean, std)
+	}
+}
+
+func TestParetoBounded(t *testing.T) {
+	r := NewRand(8)
+	for i := 0; i < 100000; i++ {
+		v := r.Pareto(1.2, 1000, 500000)
+		if v < 1000 || v > 500000 {
+			t.Fatalf("bounded Pareto escaped: %v", v)
+		}
+	}
+}
+
+func TestParetoHeavyTail(t *testing.T) {
+	// Smaller alpha must put more mass in the tail.
+	frac := func(alpha float64) float64 {
+		r := NewRand(9)
+		tail := 0
+		const n = 100000
+		for i := 0; i < n; i++ {
+			if r.Pareto(alpha, 1000, 1e6) > 1e5 {
+				tail++
+			}
+		}
+		return float64(tail) / n
+	}
+	if !(frac(1.1) > frac(2.5)) {
+		t.Fatal("lower alpha should have heavier tail")
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRand(10)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if math.Abs(got-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) hit rate %v", got)
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	r := NewRand(11)
+	xs := make([]int, 50)
+	for i := range xs {
+		xs[i] = i
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	seen := make(map[int]bool)
+	for _, v := range xs {
+		if seen[v] {
+			t.Fatalf("duplicate after shuffle: %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 50 {
+		t.Fatal("shuffle lost elements")
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	r := NewRand(12)
+	for i := 0; i < 10000; i++ {
+		v := r.Uniform(-3, 7)
+		if v < -3 || v >= 7 {
+			t.Fatalf("Uniform out of range: %v", v)
+		}
+	}
+}

@@ -1,0 +1,201 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a callback scheduled to run at a point in virtual time.
+type Event func(now Time)
+
+// Timer is a handle to a scheduled event that can be cancelled or
+// rescheduled. The zero value is not usable; timers are created by
+// Scheduler.At / Scheduler.After.
+type Timer struct {
+	item *eventItem
+}
+
+// Stop cancels the timer. It is safe to call on an already-fired or
+// already-stopped timer, and reports whether the call prevented a pending
+// firing.
+func (t *Timer) Stop() bool {
+	if t == nil || t.item == nil || t.item.cancelled || t.item.fired {
+		return false
+	}
+	t.item.cancelled = true
+	return true
+}
+
+// Pending reports whether the timer is scheduled and has neither fired nor
+// been stopped.
+func (t *Timer) Pending() bool {
+	return t != nil && t.item != nil && !t.item.cancelled && !t.item.fired
+}
+
+// When returns the virtual time the timer is (or was) set to fire.
+func (t *Timer) When() Time {
+	if t == nil || t.item == nil {
+		return 0
+	}
+	return t.item.at
+}
+
+type eventItem struct {
+	at        Time
+	seq       uint64
+	fn        Event
+	cancelled bool
+	fired     bool
+	index     int
+}
+
+type eventHeap []*eventItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	item := x.(*eventItem)
+	item.index = len(*h)
+	*h = append(*h, item)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	old[n-1] = nil
+	item.index = -1
+	*h = old[:n-1]
+	return item
+}
+
+// Scheduler is the discrete-event loop. It is not safe for concurrent use;
+// a simulation runs on a single goroutine, which is both faster and — more
+// importantly — deterministic.
+type Scheduler struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	stopped bool
+
+	// Processed counts events executed, for diagnostics and runaway
+	// detection in tests.
+	Processed uint64
+
+	// MaxEvents aborts the run (with a panic identifying the bug) when
+	// more than this many events execute; zero means no limit. Scenario
+	// runners set it as a backstop against accidental event storms.
+	MaxEvents uint64
+}
+
+// NewScheduler returns an empty scheduler positioned at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past is a bug in the caller and panics. Events at the same instant run
+// in scheduling order.
+func (s *Scheduler) At(at Time, fn Event) *Timer {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	item := &eventItem{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, item)
+	return &Timer{item: item}
+}
+
+// After schedules fn to run d after the current time. Negative d is
+// clamped to zero.
+func (s *Scheduler) After(d Duration, fn Event) *Timer {
+	if d < 0 {
+		d = 0
+	}
+	return s.At(s.now.Add(d), fn)
+}
+
+// Pending returns the number of live (not cancelled, not fired) events in
+// the queue.
+func (s *Scheduler) Pending() int {
+	n := 0
+	for _, item := range s.queue {
+		if !item.cancelled && !item.fired {
+			n++
+		}
+	}
+	return n
+}
+
+// Step executes the single next event, advancing the clock to it. It
+// reports false when the queue is empty (or only cancelled events remain).
+func (s *Scheduler) Step() bool {
+	for len(s.queue) > 0 {
+		item := heap.Pop(&s.queue).(*eventItem)
+		if item.cancelled {
+			continue
+		}
+		s.now = item.at
+		item.fired = true
+		s.Processed++
+		if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
+			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v (event storm?)", s.MaxEvents, s.now))
+		}
+		item.fn(s.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+func (s *Scheduler) Run() {
+	s.stopped = false
+	for !s.stopped && s.Step() {
+	}
+}
+
+// RunUntil executes events with time ≤ deadline, leaving later events
+// queued, and advances the clock to exactly deadline. It is the primary
+// way scenario runners bound an experiment's virtual duration.
+func (s *Scheduler) RunUntil(deadline Time) {
+	s.stopped = false
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok || next > deadline {
+			break
+		}
+		s.Step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// Stop makes the innermost Run/RunUntil return after the current event.
+func (s *Scheduler) Stop() { s.stopped = true }
+
+func (s *Scheduler) peek() (Time, bool) {
+	for len(s.queue) > 0 {
+		if s.queue[0].cancelled {
+			heap.Pop(&s.queue)
+			continue
+		}
+		return s.queue[0].at, true
+	}
+	return 0, false
+}

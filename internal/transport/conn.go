@@ -1,0 +1,467 @@
+package transport
+
+import (
+	"fmt"
+
+	"halfback/internal/netem"
+	"halfback/internal/sim"
+)
+
+// Logic is the protocol brain of a connection's sender side. The Conn
+// owns everything protocol-independent (handshake, scoreboard, RTT/RTO,
+// completion detection) and calls into the Logic at the three decision
+// points every scheme differs on: what to do once established, on every
+// acknowledgement, and on a retransmission timeout.
+type Logic interface {
+	// OnEstablished runs when the handshake completes; the handshake
+	// RTT sample is already folded into the estimator.
+	OnEstablished(now sim.Time)
+	// OnAck runs for every acknowledgement that does not complete the
+	// flow, after the scoreboard has been updated.
+	OnAck(pkt *netem.Packet, up AckUpdate, now sim.Time)
+	// OnRTO runs when the retransmission timer fires. The Conn has
+	// already counted the timeout and applied backoff; the Logic
+	// decides what to retransmit and how its window reacts.
+	OnRTO(now sim.Time)
+}
+
+// DoneHook is implemented by Logics that hold their own timers and need
+// to release them when the flow completes.
+type DoneHook interface {
+	OnDone(now sim.Time)
+}
+
+type connState uint8
+
+const (
+	stateIdle connState = iota
+	stateSynSent
+	stateEstablished
+	stateDone
+)
+
+// Conn is one simulated connection: a sender endpoint on the source
+// stack, a receiver endpoint on the destination stack, and the shared
+// flow bookkeeping. Create with NewConn, then Start.
+type Conn struct {
+	ID   netem.FlowID
+	Opts Options
+
+	net   *netem.Network
+	sched *sim.Scheduler
+	src   *Stack // sender host
+	dst   *Stack // receiver host
+
+	logic Logic
+
+	FlowBytes int
+	NumSegs   int32
+
+	Stats *FlowStats
+	Score *Scoreboard
+	RTT   RTTEstimator
+
+	state      connState
+	fcwSegs    int32
+	sentAt     []sim.Time
+	rtoTimer   *sim.Timer
+	rtoBackoff int
+	synTimer   *sim.Timer
+	synBackoff int
+
+	onComplete func(*Conn)
+	recv       *receiver
+
+	// OnDeliver, if set, is invoked at the receiver for every *new*
+	// data segment (duplicates excluded) with its payload size. The
+	// throughput-timeline experiments use it; it may be set any time
+	// before the first data arrives.
+	OnDeliver func(payloadBytes int, now sim.Time)
+}
+
+// sender wraps the Conn for stack registration so the sender- and
+// receiver-side handlers can be registered under the same flow ID on
+// different stacks.
+type sender struct{ c *Conn }
+
+func (s sender) handlePacket(pkt *netem.Packet, now sim.Time) { s.c.handleSenderPacket(pkt, now) }
+
+// NewConn wires a connection from src to dst carrying flowBytes. The
+// logic factory receives the constructed Conn so protocol state can
+// reference it. onComplete (optional) fires when the sender learns the
+// whole flow is acknowledged.
+func NewConn(id netem.FlowID, src, dst *Stack, flowBytes int, opts Options,
+	makeLogic func(*Conn) Logic, onComplete func(*Conn)) *Conn {
+	if flowBytes <= 0 {
+		panic("transport: flow must carry at least one byte")
+	}
+	if src.Net != dst.Net {
+		panic("transport: endpoints on different networks")
+	}
+	opts.applyDefaults()
+	n := int32(netem.SegmentsFor(flowBytes))
+	c := &Conn{
+		ID: id, Opts: opts,
+		net: src.Net, sched: src.Net.Scheduler(),
+		src: src, dst: dst,
+		FlowBytes: flowBytes, NumSegs: n,
+		Stats: &FlowStats{ID: id, FlowBytes: flowBytes, NumSegs: n},
+		Score: NewScoreboard(n),
+		RTT:   NewRTTEstimator(opts.InitialRTO, opts.MinRTO, opts.MaxRTO),
+
+		sentAt:     make([]sim.Time, n),
+		onComplete: onComplete,
+	}
+	c.recv = newReceiver(c)
+	c.logic = makeLogic(c)
+	if c.logic == nil {
+		panic("transport: logic factory returned nil")
+	}
+	return c
+}
+
+// Start begins the connection: endpoints register and the SYN goes out.
+// With Options.ZeroRTT the sender skips the handshake wait entirely and
+// transmits immediately against the hinted RTT, as a TCP Fast Open-style
+// setup would after a previous connection.
+func (c *Conn) Start(now sim.Time) {
+	if c.state != stateIdle {
+		panic("transport: Start called twice")
+	}
+	c.src.register(c.ID, sender{c})
+	c.dst.register(c.ID, c.recv)
+	c.Stats.Start = now
+	if c.Opts.ZeroRTT {
+		hint := c.Opts.RTTHint
+		if hint <= 0 {
+			hint = 60 * sim.Millisecond
+		}
+		c.state = stateEstablished
+		c.Stats.Established = now
+		c.Stats.HandshakeRTT = hint
+		c.RTT.Sample(hint)
+		c.fcwSegs = c.Opts.WindowSegments()
+		c.logic.OnEstablished(now)
+		return
+	}
+	c.state = stateSynSent
+	c.sendSYN(now)
+}
+
+func (c *Conn) sendSYN(now sim.Time) {
+	c.sendControl(netem.KindSYN, c.src, c.dst, nil, now)
+	rto := c.RTT.RTO(c.synBackoff)
+	c.synTimer = c.sched.After(rto, func(t sim.Time) {
+		if c.state != stateSynSent {
+			return
+		}
+		c.Stats.HandshakeRetx++
+		c.Stats.LossSeen = true
+		c.synBackoff++
+		c.sendSYN(t)
+	})
+}
+
+// sendControl emits a SYN/SYNACK-style packet from one stack to another.
+func (c *Conn) sendControl(kind netem.PacketKind, from, to *Stack, mutate func(*netem.Packet), now sim.Time) {
+	pkt := &netem.Packet{
+		Kind: kind, Flow: c.ID,
+		Src: from.Node.ID, Dst: to.Node.ID,
+		Size: netem.ControlSize, Echo: now, AckedSeq: -1,
+	}
+	if mutate != nil {
+		mutate(pkt)
+	}
+	c.net.Inject(pkt, now)
+}
+
+func (c *Conn) handleSenderPacket(pkt *netem.Packet, now sim.Time) {
+	switch pkt.Kind {
+	case netem.KindSYNACK:
+		if c.state != stateSynSent {
+			return // duplicate SYNACK after establishment
+		}
+		c.state = stateEstablished
+		c.Stats.Established = now
+		// The handshake RTT sample the aggressive schemes pace
+		// against is measured from our own SYN emission.
+		c.Stats.HandshakeRTT = now.Sub(c.Stats.Start)
+		if c.Stats.HandshakeRetx == 0 {
+			c.RTT.Sample(c.Stats.HandshakeRTT)
+		}
+		if c.synTimer != nil {
+			c.synTimer.Stop()
+		}
+		if pkt.Window > 0 {
+			c.fcwSegs = int32(pkt.Window / netem.SegmentPayload)
+			if c.fcwSegs < 1 {
+				c.fcwSegs = 1
+			}
+		} else {
+			c.fcwSegs = c.Opts.WindowSegments()
+		}
+		c.logic.OnEstablished(now)
+
+	case netem.KindAck:
+		if c.state != stateEstablished {
+			return
+		}
+		c.processAck(pkt, now)
+
+	case netem.KindProbeAck:
+		if c.state != stateEstablished {
+			return
+		}
+		// Probe feedback is protocol-specific (PCP); surface it as an
+		// ACK with no scoreboard change.
+		c.logic.OnAck(pkt, AckUpdate{Duplicate: true}, now)
+	}
+}
+
+func (c *Conn) processAck(pkt *netem.Packet, now sim.Time) {
+	up := c.Score.Update(pkt)
+
+	// Karn's rule: sample RTT only from segments never retransmitted.
+	if seq := pkt.AckedSeq; seq >= 0 && seq < c.NumSegs &&
+		c.Score.RetxCount(seq) == 0 && c.sentAt[seq] > 0 {
+		c.RTT.Sample(now.Sub(c.sentAt[seq]))
+	}
+
+	if up.NewCumAcked > 0 {
+		c.rtoBackoff = 0
+		if c.Score.AllAcked() {
+			c.finish(now)
+			return
+		}
+		c.restartRTO(now)
+	}
+	c.logic.OnAck(pkt, up, now)
+}
+
+// SegmentSize returns the wire size of segment seq (the final segment of
+// a flow may be short).
+func (c *Conn) SegmentSize(seq int32) int {
+	if seq == c.NumSegs-1 {
+		last := c.FlowBytes - int(c.NumSegs-1)*netem.SegmentPayload
+		return last + netem.DataHeaderBytes
+	}
+	return c.Opts.SegSize
+}
+
+// SendSegment transmits one data segment. retransmit marks any copy after
+// the first; proactive distinguishes loss-signal-free copies (ROPR,
+// Proactive TCP) from reactive retransmissions so the "normal
+// retransmission" metric matches the paper's.
+func (c *Conn) SendSegment(seq int32, retransmit, proactive bool, now sim.Time) {
+	if c.state != stateEstablished {
+		return
+	}
+	if seq < 0 || seq >= c.NumSegs {
+		panic(fmt.Sprintf("transport: segment %d out of range [0,%d)", seq, c.NumSegs))
+	}
+	pkt := &netem.Packet{
+		Kind: netem.KindData, Flow: c.ID,
+		Src: c.src.Node.ID, Dst: c.dst.Node.ID,
+		Seq: seq, Size: c.SegmentSize(seq),
+		Retransmit: retransmit, Proactive: proactive,
+		Echo: now, AckedSeq: -1,
+	}
+	if !retransmit && c.sentAt[seq] == 0 {
+		c.sentAt[seq] = now
+		if now == 0 {
+			c.sentAt[seq] = 1 // keep "unsent" sentinel distinct at t=0
+		}
+	}
+	c.Score.NoteSend(seq, retransmit)
+	c.Stats.DataPktsSent++
+	if retransmit {
+		if proactive {
+			c.Stats.ProactiveRetx++
+		} else {
+			c.Stats.NormalRetx++
+			c.Stats.LossSeen = true
+		}
+	}
+	c.net.Inject(pkt, now)
+	if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+		c.restartRTO(now)
+	}
+}
+
+// SendNew transmits the next never-sent segment if one exists within the
+// flow-control window, returning its sequence or -1.
+func (c *Conn) SendNew(now sim.Time) int32 {
+	seq := c.Score.HighSent() + 1
+	if seq >= c.NumSegs || seq >= c.WindowLimit() {
+		return -1
+	}
+	c.SendSegment(seq, false, false, now)
+	return seq
+}
+
+// WindowLimit returns the exclusive upper bound on sendable sequence
+// numbers imposed by the receiver's advertised flow-control window.
+func (c *Conn) WindowLimit() int32 {
+	lim := c.Score.CumAck() + c.fcwSegs
+	if lim > c.NumSegs {
+		lim = c.NumSegs
+	}
+	return lim
+}
+
+// FcwSegs returns the advertised flow-control window in segments.
+func (c *Conn) FcwSegs() int32 { return c.fcwSegs }
+
+// restartRTO (re)arms the retransmission timer with the current backoff.
+func (c *Conn) restartRTO(now sim.Time) {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	rto := c.RTT.RTO(c.rtoBackoff)
+	c.rtoTimer = c.sched.After(rto, c.fireRTO)
+}
+
+// StopRTO cancels the retransmission timer; protocols that know nothing
+// is outstanding (e.g. PCP between probe rounds) may use it.
+func (c *Conn) StopRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+}
+
+func (c *Conn) fireRTO(now sim.Time) {
+	if c.state != stateEstablished || c.Score.AllAcked() {
+		return
+	}
+	c.Stats.Timeouts++
+	c.Stats.LossSeen = true
+	c.rtoBackoff++
+	if c.rtoBackoff > c.Opts.MaxTimeouts {
+		// RFC 1122 R2: give up on a connection that has made no
+		// progress across many successive timeouts.
+		c.Abort()
+		return
+	}
+	c.restartRTO(now)
+	c.logic.OnRTO(now)
+}
+
+func (c *Conn) finish(now sim.Time) {
+	if c.state == stateDone {
+		return
+	}
+	c.state = stateDone
+	c.Stats.SenderDone = now
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	if c.synTimer != nil {
+		c.synTimer.Stop()
+	}
+	c.src.unregister(c.ID)
+	c.dst.unregister(c.ID)
+	if hook, ok := c.logic.(DoneHook); ok {
+		hook.OnDone(now)
+	}
+	if c.onComplete != nil {
+		c.onComplete(c)
+	}
+}
+
+// Abort tears the connection down without completion (simulation end).
+func (c *Conn) Abort() {
+	if c.state == stateDone {
+		return
+	}
+	prev := c.state
+	c.state = stateDone
+	if c.rtoTimer != nil {
+		c.rtoTimer.Stop()
+	}
+	if c.synTimer != nil {
+		c.synTimer.Stop()
+	}
+	if prev == stateSynSent || prev == stateEstablished {
+		c.src.unregister(c.ID)
+		c.dst.unregister(c.ID)
+	}
+	if hook, ok := c.logic.(DoneHook); ok {
+		hook.OnDone(c.sched.Now())
+	}
+}
+
+// Finished reports whether the sender has completed (or aborted).
+func (c *Conn) Finished() bool { return c.state == stateDone }
+
+// Established reports whether the handshake has completed.
+func (c *Conn) Established() bool { return c.state == stateEstablished }
+
+// Logic returns the protocol logic driving the sender, for tests and
+// tracing.
+func (c *Conn) Logic() Logic { return c.logic }
+
+// Sched exposes the scheduler for protocol-private timers.
+func (c *Conn) Sched() *sim.Scheduler { return c.sched }
+
+// Net exposes the network, e.g. for PCP probe injection.
+func (c *Conn) Net() *netem.Network { return c.net }
+
+// SrcNode and DstNode return the endpoints' node IDs.
+func (c *Conn) SrcNode() netem.NodeID { return c.src.Node.ID }
+func (c *Conn) DstNode() netem.NodeID { return c.dst.Node.ID }
+
+// Pacing support ------------------------------------------------------
+
+// Pacer schedules a run of equally spaced segment transmissions. It is a
+// cooperative helper: protocols construct one, and each tick sends via
+// the provided send function, so the same machinery paces first
+// transmissions (JumpStart, Halfback) and proactive retransmissions
+// (Halfback-Forward ablation).
+type Pacer struct {
+	conn    *Conn
+	timer   *sim.Timer
+	stopped bool
+}
+
+// PaceRange paces first transmissions of segments [lo,hi) evenly across
+// total, starting with the first segment immediately. done (optional)
+// runs after the last segment is sent. It returns a Pacer whose Stop
+// cancels the remaining schedule.
+func (c *Conn) PaceRange(lo, hi int32, total sim.Duration, done func(now sim.Time)) *Pacer {
+	p := &Pacer{conn: c}
+	n := hi - lo
+	if n <= 0 {
+		if done != nil {
+			done(c.sched.Now())
+		}
+		return p
+	}
+	var interval sim.Duration
+	if n > 1 {
+		interval = total / sim.Duration(n)
+	}
+	var step func(seq int32) func(sim.Time)
+	step = func(seq int32) func(sim.Time) {
+		return func(now sim.Time) {
+			if p.stopped || c.Finished() {
+				return
+			}
+			c.SendSegment(seq, false, false, now)
+			if seq+1 < hi {
+				p.timer = c.sched.After(interval, step(seq+1))
+			} else if done != nil {
+				done(now)
+			}
+		}
+	}
+	step(lo)(c.sched.Now())
+	return p
+}
+
+// Stop cancels any remaining paced transmissions.
+func (p *Pacer) Stop() {
+	p.stopped = true
+	if p.timer != nil {
+		p.timer.Stop()
+	}
+}

@@ -1,0 +1,129 @@
+// Package transport is the reliable-datagram substrate every scheme in
+// this repository is built on. It plays the role UDT-with-selective-ACK
+// plays in the paper (§4.1): connection setup (SYN/SYNACK, counted in
+// flow completion time), 1500-byte segments, per-packet selective
+// acknowledgements, a SACK scoreboard, RFC 6298-style RTT/RTO estimation,
+// and a pacing helper.
+//
+// A protocol ("scheme") implements the Logic interface and drives the
+// Conn's send helpers; the Conn owns everything protocol-independent.
+package transport
+
+import (
+	"halfback/internal/netem"
+	"halfback/internal/sim"
+)
+
+// Options carries the transport constants shared by all schemes. The
+// defaults mirror §4.1 of the paper.
+type Options struct {
+	// FlowWindow is the receiver's advertised flow-control window in
+	// bytes. The paper fixes it to 141 KB, "the same as that of
+	// Windows XP".
+	FlowWindow int
+
+	// SegSize is the wire size of a full data segment including
+	// headers (paper: 1500 bytes).
+	SegSize int
+
+	// InitialRTO is the retransmission timeout before any RTT sample
+	// exists (handshake loss). RFC 6298 specifies 1 s.
+	InitialRTO sim.Duration
+
+	// MinRTO floors the computed retransmission timeout. The default
+	// is RFC 6298's conservative 1 s floor ("RTO SHOULD be rounded up
+	// to 1 second"), which matches the second-scale timeout penalties
+	// visible throughout the paper's measurements; Linux's more
+	// aggressive 200 ms floor is available by overriding this.
+	MinRTO sim.Duration
+
+	// MaxRTO caps exponential backoff.
+	MaxRTO sim.Duration
+
+	// DupThresh is the SACK-based loss-inference threshold: a segment
+	// is deemed lost once DupThresh segments above it have been
+	// selectively acknowledged (RFC 6675's rule with per-packet ACKs).
+	DupThresh int
+
+	// MaxTimeouts aborts the connection after this many consecutive
+	// retransmission timeouts without forward progress (RFC 1122's R2
+	// give-up, ≈15 retries in common stacks). It bounds the lifetime
+	// of unrecoverable flows.
+	MaxTimeouts int
+
+	// ZeroRTT skips the handshake wait, as TCP Fast Open [31] / ASAP
+	// [37] would: the sender begins transmitting at Start, using
+	// RTTHint (a previous connection's measurement, the analog of a
+	// TFO cookie's amortised setup) as the pacing RTT. The paper's §6
+	// notes such mechanisms are orthogonal drop-ins for Halfback's
+	// connection establishment, and that all its own measurements
+	// include the full handshake.
+	ZeroRTT bool
+
+	// RTTHint seeds the RTT estimate for ZeroRTT connections (default
+	// 60 ms when unset).
+	RTTHint sim.Duration
+
+	// DelayedAcks makes the receiver acknowledge every second data
+	// packet (or after DelayedAckTimeout for a lone packet) instead of
+	// every packet. The paper's UDT substrate acknowledges every
+	// packet; this option exists to study how sensitive the
+	// ACK-clocked schemes (Halfback's ROPR above all) are to a thinner
+	// ACK stream.
+	DelayedAcks bool
+
+	// DelayedAckTimeout bounds how long a delayed ACK may be withheld
+	// (default 40 ms, the classic value).
+	DelayedAckTimeout sim.Duration
+}
+
+// DefaultOptions returns the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		FlowWindow:        141 * 1000,
+		SegSize:           netem.SegmentSize,
+		InitialRTO:        1 * sim.Second,
+		MinRTO:            1 * sim.Second,
+		MaxRTO:            60 * sim.Second,
+		DupThresh:         3,
+		MaxTimeouts:       15,
+		DelayedAckTimeout: 40 * sim.Millisecond,
+	}
+}
+
+// WindowSegments converts the flow-control window to whole segments.
+func (o Options) WindowSegments() int32 {
+	n := int32(o.FlowWindow / netem.SegmentPayload)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func (o *Options) applyDefaults() {
+	d := DefaultOptions()
+	if o.FlowWindow == 0 {
+		o.FlowWindow = d.FlowWindow
+	}
+	if o.SegSize == 0 {
+		o.SegSize = d.SegSize
+	}
+	if o.InitialRTO == 0 {
+		o.InitialRTO = d.InitialRTO
+	}
+	if o.MinRTO == 0 {
+		o.MinRTO = d.MinRTO
+	}
+	if o.MaxRTO == 0 {
+		o.MaxRTO = d.MaxRTO
+	}
+	if o.DupThresh == 0 {
+		o.DupThresh = d.DupThresh
+	}
+	if o.MaxTimeouts == 0 {
+		o.MaxTimeouts = d.MaxTimeouts
+	}
+	if o.DelayedAckTimeout == 0 {
+		o.DelayedAckTimeout = 40 * sim.Millisecond
+	}
+}

@@ -1,0 +1,180 @@
+package transport
+
+import (
+	"halfback/internal/netem"
+	"halfback/internal/sim"
+)
+
+// receiver is the server-side endpoint of a Conn: it acknowledges every
+// data packet with cumulative + selective state (the substrate's
+// "Selective ACK" per §4.1) and records flow completion.
+type receiver struct {
+	conn *Conn
+
+	got      []bool
+	cumAck   int32
+	maxSeq   int32 // highest segment received, for bounded SACK scans
+	distinct int32
+	total    int32 // all data packets received, including duplicates
+	holeSeen bool
+
+	// Delayed-ACK state (Options.DelayedAcks): unacked counts data
+	// packets received since the last ACK; ackTimer bounds the delay.
+	unacked  int
+	ackTimer *sim.Timer
+}
+
+func newReceiver(c *Conn) *receiver {
+	return &receiver{conn: c, got: make([]bool, c.NumSegs)}
+}
+
+func (r *receiver) handlePacket(pkt *netem.Packet, now sim.Time) {
+	c := r.conn
+	switch pkt.Kind {
+	case netem.KindSYN:
+		// Reply (or re-reply, if the SYNACK was lost) with the
+		// advertised window.
+		c.sendControl(netem.KindSYNACK, c.dst, c.src, func(p *netem.Packet) {
+			p.Window = c.Opts.FlowWindow
+		}, now)
+
+	case netem.KindData:
+		seq := pkt.Seq
+		if seq < 0 || seq >= c.NumSegs {
+			return
+		}
+		if r.got[seq] {
+			c.Stats.DupDataAtReceiver++
+		} else {
+			r.got[seq] = true
+			if seq > r.maxSeq {
+				r.maxSeq = seq
+			}
+			r.distinct++
+			for r.cumAck < c.NumSegs && r.got[r.cumAck] {
+				r.cumAck++
+			}
+			if seq > r.cumAck {
+				r.holeSeen = true
+				c.Stats.LossSeen = true
+			}
+			if r.distinct == c.NumSegs && !c.Stats.Completed {
+				c.Stats.Completed = true
+				c.Stats.ReceiverDone = now
+			}
+			if c.OnDeliver != nil {
+				c.OnDeliver(pkt.Size-netem.DataHeaderBytes, now)
+			}
+		}
+		r.total++
+		if !c.Opts.DelayedAcks {
+			r.sendAck(seq, now)
+			break
+		}
+		// Delayed ACKs: every second packet, out-of-order arrivals
+		// (which must be signalled immediately, RFC 5681 §4.2), or
+		// the 40 ms timer, whichever first.
+		r.unacked++
+		outOfOrder := seq != r.cumAck-1 || r.holeSeen && r.cumAck <= r.maxSeq
+		if r.unacked >= 2 || outOfOrder || r.distinct == c.NumSegs {
+			r.flushAck(seq, now)
+			break
+		}
+		if r.ackTimer == nil || !r.ackTimer.Pending() {
+			trigger := seq
+			r.ackTimer = c.sched.After(c.Opts.DelayedAckTimeout, func(t sim.Time) {
+				if r.unacked > 0 {
+					r.flushAck(trigger, t)
+				}
+			})
+		}
+
+	case netem.KindProbe:
+		// Echo probe timing for PCP: one-way delay plus the probe's
+		// index so the sender can reconstruct dispersion.
+		ack := &netem.Packet{
+			Kind: netem.KindProbeAck, Flow: c.ID,
+			Src: c.dst.Node.ID, Dst: c.src.Node.ID,
+			Size: netem.AckSize, Seq: pkt.Seq,
+			Echo: pkt.Echo, OWD: now.Sub(pkt.Echo),
+		}
+		c.net.Inject(ack, now)
+	}
+}
+
+// flushAck emits the pending delayed acknowledgement.
+func (r *receiver) flushAck(seq int32, now sim.Time) {
+	r.unacked = 0
+	if r.ackTimer != nil {
+		r.ackTimer.Stop()
+	}
+	r.sendAck(seq, now)
+}
+
+// sendAck emits the selective acknowledgement triggered by segment seq.
+func (r *receiver) sendAck(seq int32, now sim.Time) {
+	c := r.conn
+	ack := &netem.Packet{
+		Kind: netem.KindAck, Flow: c.ID,
+		Src: c.dst.Node.ID, Dst: c.src.Node.ID,
+		Size:   netem.AckSize,
+		CumAck: r.cumAck, AckedSeq: seq, RecvTotal: r.total,
+		Echo: now,
+	}
+	r.fillSACK(ack, seq)
+	c.net.Inject(ack, now)
+}
+
+// fillSACK populates up to MaxSACKBlocks ranges of received-but-not-
+// cumulatively-acknowledged segments. The block containing the triggering
+// segment goes first (most useful for loss inference), then blocks are
+// reported bottom-up from the cumulative ACK point.
+func (r *receiver) fillSACK(ack *netem.Packet, trigger int32) {
+	if r.cumAck >= r.conn.NumSegs {
+		return
+	}
+	add := func(lo, hi int32) bool {
+		if ack.NumSACK >= netem.MaxSACKBlocks {
+			return false
+		}
+		for i := 0; i < ack.NumSACK; i++ {
+			if ack.SACK[i].Lo == lo && ack.SACK[i].Hi == hi {
+				return true
+			}
+		}
+		ack.SACK[ack.NumSACK] = netem.SeqRange{Lo: lo, Hi: hi}
+		ack.NumSACK++
+		return true
+	}
+	if trigger >= r.cumAck && r.got[trigger] {
+		lo, hi := trigger, trigger+1
+		for lo > r.cumAck && r.got[lo-1] {
+			lo--
+		}
+		for hi < r.conn.NumSegs && r.got[hi] {
+			hi++
+		}
+		add(lo, hi)
+	}
+	// Scan upward from the hole for further runs. The scan is bounded
+	// by the highest segment actually received (nothing beyond it can
+	// be in a run), which keeps ACK generation O(holes) for healthy
+	// flows regardless of window size.
+	limit := r.maxSeq + 1
+	if limit > r.conn.NumSegs {
+		limit = r.conn.NumSegs
+	}
+	for s := r.cumAck; s < limit && ack.NumSACK < netem.MaxSACKBlocks; {
+		if !r.got[s] {
+			s++
+			continue
+		}
+		lo := s
+		for s < limit && r.got[s] {
+			s++
+		}
+		if !add(lo, s) {
+			break
+		}
+	}
+}

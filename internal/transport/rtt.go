@@ -1,0 +1,68 @@
+package transport
+
+import "halfback/internal/sim"
+
+// RTTEstimator implements the RFC 6298 smoothed RTT / RTO computation
+// with Karn's rule applied by the caller (only never-retransmitted
+// segments are sampled).
+type RTTEstimator struct {
+	srtt    sim.Duration
+	rttvar  sim.Duration
+	sampled bool
+
+	initialRTO, minRTO, maxRTO sim.Duration
+}
+
+// NewRTTEstimator returns an estimator with the given RTO bounds.
+func NewRTTEstimator(initial, min, max sim.Duration) RTTEstimator {
+	return RTTEstimator{initialRTO: initial, minRTO: min, maxRTO: max}
+}
+
+// Sample folds one RTT measurement into the estimate.
+func (e *RTTEstimator) Sample(rtt sim.Duration) {
+	if rtt <= 0 {
+		rtt = 1
+	}
+	if !e.sampled {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.sampled = true
+		return
+	}
+	diff := e.srtt - rtt
+	if diff < 0 {
+		diff = -diff
+	}
+	e.rttvar = (3*e.rttvar + diff) / 4
+	e.srtt = (7*e.srtt + rtt) / 8
+}
+
+// HasSample reports whether at least one measurement has been folded in.
+func (e *RTTEstimator) HasSample() bool { return e.sampled }
+
+// SRTT returns the smoothed RTT, or zero before the first sample.
+func (e *RTTEstimator) SRTT() sim.Duration { return e.srtt }
+
+// RTTVar returns the RTT variance estimate.
+func (e *RTTEstimator) RTTVar() sim.Duration { return e.rttvar }
+
+// RTO returns the retransmission timeout for the given backoff exponent
+// (0 = no backoff, each increment doubles), clamped to [min,max].
+func (e *RTTEstimator) RTO(backoff int) sim.Duration {
+	var rto sim.Duration
+	if !e.sampled {
+		rto = e.initialRTO
+	} else {
+		rto = e.srtt + 4*e.rttvar
+	}
+	if rto < e.minRTO {
+		rto = e.minRTO
+	}
+	for i := 0; i < backoff && rto < e.maxRTO; i++ {
+		rto *= 2
+	}
+	if rto > e.maxRTO {
+		rto = e.maxRTO
+	}
+	return rto
+}

@@ -1,0 +1,93 @@
+package transport
+
+import (
+	"testing"
+
+	"halfback/internal/sim"
+)
+
+func newEst() RTTEstimator {
+	return NewRTTEstimator(1*sim.Second, 200*sim.Millisecond, 60*sim.Second)
+}
+
+func TestRTOBeforeFirstSample(t *testing.T) {
+	e := newEst()
+	if e.HasSample() {
+		t.Fatal("fresh estimator should have no sample")
+	}
+	if got := e.RTO(0); got != 1*sim.Second {
+		t.Fatalf("initial RTO %v", got)
+	}
+}
+
+func TestFirstSampleSeedsEstimate(t *testing.T) {
+	e := newEst()
+	e.Sample(100 * sim.Millisecond)
+	if e.SRTT() != 100*sim.Millisecond {
+		t.Fatalf("srtt %v", e.SRTT())
+	}
+	if e.RTTVar() != 50*sim.Millisecond {
+		t.Fatalf("rttvar %v", e.RTTVar())
+	}
+	// RTO = srtt + 4·rttvar = 300ms.
+	if got := e.RTO(0); got != 300*sim.Millisecond {
+		t.Fatalf("RTO %v", got)
+	}
+}
+
+func TestSmoothingConvergence(t *testing.T) {
+	e := newEst()
+	for i := 0; i < 100; i++ {
+		e.Sample(80 * sim.Millisecond)
+	}
+	if srtt := e.SRTT(); srtt < 79*sim.Millisecond || srtt > 81*sim.Millisecond {
+		t.Fatalf("srtt should converge to 80ms, got %v", srtt)
+	}
+	// Constant samples drive variance toward zero, so RTO hits MinRTO.
+	if got := e.RTO(0); got != 200*sim.Millisecond {
+		t.Fatalf("RTO should floor at MinRTO, got %v", got)
+	}
+}
+
+func TestBackoffDoubling(t *testing.T) {
+	e := newEst()
+	e.Sample(100 * sim.Millisecond)
+	r0 := e.RTO(0)
+	if e.RTO(1) != 2*r0 || e.RTO(2) != 4*r0 {
+		t.Fatalf("backoff not doubling: %v %v %v", r0, e.RTO(1), e.RTO(2))
+	}
+}
+
+func TestBackoffCapped(t *testing.T) {
+	e := newEst()
+	e.Sample(100 * sim.Millisecond)
+	if got := e.RTO(40); got != 60*sim.Second {
+		t.Fatalf("RTO should cap at MaxRTO, got %v", got)
+	}
+}
+
+func TestNonPositiveSampleClamped(t *testing.T) {
+	e := newEst()
+	e.Sample(0)
+	if !e.HasSample() || e.SRTT() <= 0 {
+		t.Fatal("zero sample should clamp, not corrupt")
+	}
+}
+
+func TestVarianceTracksJitter(t *testing.T) {
+	stable, jittery := newEst(), newEst()
+	for i := 0; i < 50; i++ {
+		stable.Sample(100 * sim.Millisecond)
+		if i%2 == 0 {
+			jittery.Sample(50 * sim.Millisecond)
+		} else {
+			jittery.Sample(150 * sim.Millisecond)
+		}
+	}
+	if !(jittery.RTTVar() > stable.RTTVar()) {
+		t.Fatal("jittery path must show larger variance")
+	}
+	if !(jittery.RTO(0) > stable.RTO(0)) {
+		t.Fatal("jittery path must have larger RTO")
+	}
+}

@@ -1,0 +1,308 @@
+package transport
+
+import (
+	"testing"
+	"testing/quick"
+
+	"halfback/internal/netem"
+)
+
+func ackPkt(cum int32, sacks ...netem.SeqRange) *netem.Packet {
+	p := &netem.Packet{Kind: netem.KindAck, CumAck: cum, AckedSeq: -1}
+	for i, r := range sacks {
+		if i >= netem.MaxSACKBlocks {
+			break
+		}
+		p.SACK[i] = r
+		p.NumSACK++
+	}
+	return p
+}
+
+func sendRange(s *Scoreboard, lo, hi int32) {
+	for seq := lo; seq < hi; seq++ {
+		s.NoteSend(seq, false)
+	}
+}
+
+func TestScoreboardCumAckAdvance(t *testing.T) {
+	s := NewScoreboard(10)
+	sendRange(s, 0, 5)
+	up := s.Update(ackPkt(3))
+	if up.NewCumAcked != 3 || s.CumAck() != 3 {
+		t.Fatalf("cumack advance: %+v cum=%d", up, s.CumAck())
+	}
+	up = s.Update(ackPkt(3))
+	if !up.Duplicate {
+		t.Fatal("repeat ACK should be duplicate")
+	}
+	// Stale (smaller) cumack must not regress.
+	s.Update(ackPkt(1))
+	if s.CumAck() != 3 {
+		t.Fatal("cumack regressed")
+	}
+}
+
+func TestScoreboardSACK(t *testing.T) {
+	s := NewScoreboard(10)
+	sendRange(s, 0, 8)
+	up := s.Update(ackPkt(2, netem.SeqRange{Lo: 4, Hi: 6}))
+	if up.NewSacked != 2 {
+		t.Fatalf("want 2 new sacked, got %d", up.NewSacked)
+	}
+	if !s.IsAcked(4) || !s.IsAcked(5) || s.IsAcked(3) || s.IsAcked(6) {
+		t.Fatal("sack marking wrong")
+	}
+	if s.SackedAboveCum() != 2 {
+		t.Fatalf("sacked count %d", s.SackedAboveCum())
+	}
+	// Cumack passing over sacked segments cleans the count.
+	s.Update(ackPkt(6))
+	if s.SackedAboveCum() != 0 {
+		t.Fatalf("sacked count after absorb %d", s.SackedAboveCum())
+	}
+}
+
+func TestScoreboardAllAcked(t *testing.T) {
+	s := NewScoreboard(3)
+	sendRange(s, 0, 3)
+	if s.AllAcked() {
+		t.Fatal("nothing acked yet")
+	}
+	s.Update(ackPkt(3))
+	if !s.AllAcked() {
+		t.Fatal("all segments cumulatively acked")
+	}
+}
+
+func TestDeemedLostDupThresh(t *testing.T) {
+	s := NewScoreboard(10)
+	sendRange(s, 0, 6)
+	// Hole at 0; sacks at 1,2 → below threshold 3.
+	s.Update(ackPkt(0, netem.SeqRange{Lo: 1, Hi: 3}))
+	if s.DeemedLost(0, 3) {
+		t.Fatal("2 sacks above should not deem lost at threshold 3")
+	}
+	s.Update(ackPkt(0, netem.SeqRange{Lo: 3, Hi: 4}))
+	if !s.DeemedLost(0, 3) {
+		t.Fatal("3 sacks above should deem lost")
+	}
+	if s.DeemedLost(4, 3) {
+		t.Fatal("segment 4 has only 0 sacks above")
+	}
+}
+
+func TestDeemedLostNeverForUnsentOrAcked(t *testing.T) {
+	s := NewScoreboard(10)
+	sendRange(s, 0, 5)
+	s.Update(ackPkt(1, netem.SeqRange{Lo: 2, Hi: 5}))
+	if s.DeemedLost(1, 3) != true {
+		t.Fatal("hole 1 deemed lost")
+	}
+	if s.DeemedLost(2, 3) {
+		t.Fatal("sacked segment cannot be lost")
+	}
+	if s.DeemedLost(7, 3) {
+		t.Fatal("unsent segment cannot be lost")
+	}
+}
+
+func TestNextLostAndRetxBudget(t *testing.T) {
+	s := NewScoreboard(12)
+	sendRange(s, 0, 10)
+	s.Update(ackPkt(0, netem.SeqRange{Lo: 4, Hi: 10}))
+	// Holes 0..3, each with ≥3 sacks above.
+	if got := s.NextLost(0, 3, 1); got != 0 {
+		t.Fatalf("first lost %d, want 0", got)
+	}
+	s.NoteSend(0, true)
+	if got := s.NextLost(0, 3, 1); got != 1 {
+		t.Fatalf("after retransmitting 0, next lost %d, want 1", got)
+	}
+	if got := s.NextLost(0, 3, 2); got != 0 {
+		t.Fatalf("larger budget should re-offer 0, got %d", got)
+	}
+}
+
+func TestMarkOutstandingLost(t *testing.T) {
+	s := NewScoreboard(10)
+	sendRange(s, 0, 6)
+	// No SACK info at all: tail blackout.
+	if s.NextLost(0, 3, 1) != -1 {
+		t.Fatal("nothing lost before timeout")
+	}
+	if p := s.Pipe(3); p != 6 {
+		t.Fatalf("pipe %d, want 6", p)
+	}
+	s.MarkOutstandingLost()
+	if p := s.Pipe(3); p != 0 {
+		t.Fatalf("pipe after timeout presumption %d, want 0", p)
+	}
+	if got := s.NextLost(0, 3, 1); got != 0 {
+		t.Fatalf("timeout should expose hole 0, got %d", got)
+	}
+	if !s.IsMarkedLost(3) {
+		t.Fatal("segment 3 should carry the mark")
+	}
+	// An arriving SACK clears the presumption.
+	s.Update(ackPkt(0, netem.SeqRange{Lo: 3, Hi: 4}))
+	if s.IsMarkedLost(3) {
+		t.Fatal("sacked segment must drop the mark")
+	}
+	// Cumack passing clears it too.
+	s.Update(ackPkt(2))
+	if s.IsMarkedLost(0) || s.IsMarkedLost(1) {
+		t.Fatal("acked segments must drop the mark")
+	}
+}
+
+func TestPipeCountsRetransmissions(t *testing.T) {
+	s := NewScoreboard(10)
+	sendRange(s, 0, 4)
+	if p := s.Pipe(3); p != 4 {
+		t.Fatalf("pipe %d", p)
+	}
+	s.NoteSend(2, true) // retransmission adds a copy in flight
+	if p := s.Pipe(3); p != 5 {
+		t.Fatalf("pipe with retx %d, want 5", p)
+	}
+	s.Update(ackPkt(3))
+	// Segment 3 outstanding + nothing else; retx of 2 absorbed by cumack.
+	if p := s.Pipe(3); p != 1 {
+		t.Fatalf("pipe after cumack %d, want 1", p)
+	}
+}
+
+func TestPipeExcludesSackedAndLost(t *testing.T) {
+	s := NewScoreboard(20)
+	sendRange(s, 0, 10)
+	s.Update(ackPkt(0, netem.SeqRange{Lo: 5, Hi: 10}))
+	// Holes 0..4: 0 and 1 have ≥3 sacks above → deemed lost at thresh 3.
+	// Actually all of 0..4 have 5 sacks above.
+	want := int32(10) - 5 /*sacked*/ - 5 /*deemed lost*/
+	if p := s.Pipe(3); p != want {
+		t.Fatalf("pipe %d, want %d", p, want)
+	}
+}
+
+func TestHolesAndHighestUnacked(t *testing.T) {
+	s := NewScoreboard(10)
+	sendRange(s, 0, 8)
+	s.Update(ackPkt(2, netem.SeqRange{Lo: 4, Hi: 6}))
+	holes := s.Holes()
+	wantHoles := []int32{2, 3, 6, 7}
+	if len(holes) != len(wantHoles) {
+		t.Fatalf("holes %v", holes)
+	}
+	for i := range holes {
+		if holes[i] != wantHoles[i] {
+			t.Fatalf("holes %v, want %v", holes, wantHoles)
+		}
+	}
+	if hu := s.HighestUnacked(); hu != 7 {
+		t.Fatalf("highest unacked %d", hu)
+	}
+	s.Update(ackPkt(2, netem.SeqRange{Lo: 6, Hi: 8}))
+	if hu := s.HighestUnacked(); hu != 3 {
+		t.Fatalf("highest unacked after sack %d", hu)
+	}
+}
+
+// TestScoreboardInvariants drives random ACK sequences and checks the
+// structural invariants hold throughout: cumack monotone, sacked count
+// consistent, pipe non-negative, IsAcked consistent with cumack.
+func TestScoreboardInvariants(t *testing.T) {
+	f := func(seed int64, ops []uint16) bool {
+		n := int32(40)
+		s := NewScoreboard(n)
+		sendRange(s, 0, n)
+		lastCum := int32(0)
+		for _, op := range ops {
+			cum := int32(op) % (n + 1)
+			lo := int32(op>>4) % n
+			hi := lo + int32(op>>8)%8
+			if hi > n {
+				hi = n
+			}
+			s.Update(ackPkt(cum, netem.SeqRange{Lo: lo, Hi: hi}))
+			if s.CumAck() < lastCum {
+				return false // cumack regressed
+			}
+			lastCum = s.CumAck()
+			if s.Pipe(3) < 0 {
+				return false
+			}
+			// Recount sacked-above-cum from scratch.
+			var cnt int32
+			for seq := s.CumAck(); seq < n; seq++ {
+				if seq >= s.CumAck() && s.IsAcked(seq) && seq < n && !(seq < s.CumAck()) {
+					cnt++
+				}
+			}
+			if cnt != s.SackedAboveCum() {
+				return false
+			}
+			for seq := int32(0); seq < s.CumAck(); seq++ {
+				if !s.IsAcked(seq) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScoreboardPipeMatchesNaive cross-checks the optimised Pipe against
+// a naive reimplementation under random operations.
+func TestScoreboardPipeMatchesNaive(t *testing.T) {
+	naive := func(s *Scoreboard, dupThresh int) int32 {
+		var pipe int32
+		for seq := s.CumAck(); seq <= s.HighSent() && seq < s.N(); seq++ {
+			if s.IsAcked(seq) {
+				pipe += int32(s.RetxCount(seq))
+				continue
+			}
+			if !s.DeemedLost(seq, dupThresh) {
+				pipe++
+			}
+			pipe += int32(s.RetxCount(seq))
+		}
+		return pipe
+	}
+	f := func(ops []uint16) bool {
+		n := int32(30)
+		s := NewScoreboard(n)
+		sendRange(s, 0, 10)
+		for _, op := range ops {
+			switch op % 3 {
+			case 0:
+				cum := int32(op>>2) % (n + 1)
+				s.Update(ackPkt(cum))
+			case 1:
+				lo := int32(op>>2) % n
+				hi := lo + 1 + int32(op>>9)%4
+				if hi > n {
+					hi = n
+				}
+				s.Update(ackPkt(s.CumAck(), netem.SeqRange{Lo: lo, Hi: hi}))
+			case 2:
+				seq := s.HighSent() + 1
+				if seq < n {
+					s.NoteSend(seq, false)
+				} else if h := s.HighestUnacked(); h >= 0 {
+					s.NoteSend(h, true)
+				}
+			}
+			if s.Pipe(3) != naive(s, 3) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,52 @@
+package transport
+
+import (
+	"fmt"
+
+	"halfback/internal/netem"
+	"halfback/internal/sim"
+)
+
+// Stack is the per-host transport layer: it owns the node's Deliver
+// handler and dispatches packets to connection endpoints by flow ID.
+type Stack struct {
+	Net  *netem.Network
+	Node *netem.Node
+
+	endpoints map[netem.FlowID]packetHandler
+}
+
+type packetHandler interface {
+	handlePacket(pkt *netem.Packet, now sim.Time)
+}
+
+// NewStack attaches a transport stack to node.
+func NewStack(net *netem.Network, node *netem.Node) *Stack {
+	s := &Stack{Net: net, Node: node, endpoints: make(map[netem.FlowID]packetHandler)}
+	node.Deliver = s.deliver
+	return s
+}
+
+func (s *Stack) deliver(pkt *netem.Packet, now sim.Time) {
+	ep, ok := s.endpoints[pkt.Flow]
+	if !ok {
+		// Packets for torn-down flows (e.g. a retransmitted final ACK)
+		// are silently dropped, as a real host would RST or ignore.
+		return
+	}
+	ep.handlePacket(pkt, now)
+}
+
+func (s *Stack) register(id netem.FlowID, ep packetHandler) {
+	if _, dup := s.endpoints[id]; dup {
+		panic(fmt.Sprintf("transport: duplicate flow %d on %s", id, s.Node.Name))
+	}
+	s.endpoints[id] = ep
+}
+
+func (s *Stack) unregister(id netem.FlowID) {
+	delete(s.endpoints, id)
+}
+
+// Sched returns the scheduler driving this stack's network.
+func (s *Stack) Sched() *sim.Scheduler { return s.Net.Scheduler() }

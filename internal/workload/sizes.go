@@ -1,0 +1,209 @@
+// Package workload generates the traffic the paper's experiments offer to
+// the network: flow sizes drawn from the three measured distributions of
+// §4.2.4, Poisson flow arrivals tuned to a target utilization, the
+// PlanetLab-style path population of §4.2.1, the home-access profiles of
+// §4.2.2, and the synthetic web-page corpus of §4.4.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"halfback/internal/sim"
+)
+
+// SizeDist draws flow sizes in bytes.
+type SizeDist interface {
+	// Sample returns one flow size in bytes (always ≥ 1).
+	Sample(rng *sim.Rand) int
+	// Mean returns the distribution's expected flow size in bytes,
+	// used to convert a target utilization into an arrival rate.
+	Mean() float64
+	// Name identifies the distribution in tables.
+	Name() string
+}
+
+// Fixed is a degenerate distribution: every flow has the same size (the
+// paper's default short flow is 100 KB).
+type Fixed struct {
+	Bytes int
+}
+
+// Sample returns the fixed size.
+func (f Fixed) Sample(*sim.Rand) int { return f.Bytes }
+
+// Mean returns the fixed size.
+func (f Fixed) Mean() float64 { return float64(f.Bytes) }
+
+// Name identifies the distribution.
+func (f Fixed) Name() string { return fmt.Sprintf("fixed-%dB", f.Bytes) }
+
+// Anchor is one point of an empirical flow-size CDF: P[size ≤ Bytes] = P.
+type Anchor struct {
+	Bytes float64
+	P     float64
+}
+
+// Empirical is a piecewise log-linear empirical distribution defined by
+// CDF anchors, with inverse-transform sampling. Sizes between anchors
+// interpolate in log-size space, which matches how flow-size
+// distributions look on the log-x CDF plots they are published as.
+type Empirical struct {
+	label   string
+	anchors []Anchor
+	mean    float64
+}
+
+// NewEmpirical validates anchors (strictly increasing in both
+// coordinates, final P = 1) and precomputes the mean.
+func NewEmpirical(label string, anchors []Anchor) (*Empirical, error) {
+	if len(anchors) < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 anchors")
+	}
+	for i, a := range anchors {
+		if a.Bytes < 1 || a.P < 0 || a.P > 1 {
+			return nil, fmt.Errorf("workload: invalid anchor %+v", a)
+		}
+		if i > 0 && (a.Bytes <= anchors[i-1].Bytes || a.P <= anchors[i-1].P) {
+			return nil, fmt.Errorf("workload: anchors must be strictly increasing (index %d)", i)
+		}
+	}
+	if last := anchors[len(anchors)-1]; math.Abs(last.P-1) > 1e-9 {
+		return nil, fmt.Errorf("workload: final anchor must have P=1, got %v", last.P)
+	}
+	e := &Empirical{label: label, anchors: anchors}
+	e.mean = e.computeMean()
+	return e, nil
+}
+
+// MustEmpirical is NewEmpirical for static tables.
+func MustEmpirical(label string, anchors []Anchor) *Empirical {
+	e, err := NewEmpirical(label, anchors)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// Name identifies the distribution.
+func (e *Empirical) Name() string { return e.label }
+
+// quantile inverts the CDF at probability u in [0,1).
+func (e *Empirical) quantile(u float64) float64 {
+	a := e.anchors
+	if u <= a[0].P {
+		return a[0].Bytes
+	}
+	i := sort.Search(len(a), func(i int) bool { return a[i].P >= u })
+	if i >= len(a) {
+		return a[len(a)-1].Bytes
+	}
+	lo, hi := a[i-1], a[i]
+	frac := (u - lo.P) / (hi.P - lo.P)
+	return math.Exp(math.Log(lo.Bytes)*(1-frac) + math.Log(hi.Bytes)*frac)
+}
+
+// Sample draws a size by inverse-transform sampling.
+func (e *Empirical) Sample(rng *sim.Rand) int {
+	v := int(e.quantile(rng.Float64()))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Mean returns the precomputed expectation.
+func (e *Empirical) Mean() float64 { return e.mean }
+
+// computeMean integrates the quantile function numerically. A thousand
+// strata are plenty for the smooth piecewise form.
+func (e *Empirical) computeMean() float64 {
+	const n = 2000
+	var sum float64
+	for i := 0; i < n; i++ {
+		u := (float64(i) + 0.5) / n
+		sum += e.quantile(u)
+	}
+	return sum / n
+}
+
+// FractionOfBytesBelow returns the fraction of the distribution's bytes
+// carried by flows of size ≤ limit — the quantity the paper's Fig. 2
+// plots (traffic share, not flow share). Computed by stratified
+// integration of the quantile function.
+func FractionOfBytesBelow(d SizeDist, limit float64, rng *sim.Rand, samples int) float64 {
+	if samples <= 0 {
+		samples = 100000
+	}
+	var total, below float64
+	for i := 0; i < samples; i++ {
+		s := float64(d.Sample(rng))
+		total += s
+		if s <= limit {
+			below += s
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return below / total
+}
+
+// The three measured distributions of §4.2.4, truncated at 1 MB as in
+// the paper ("longer flows would use TCP"). Original datasets were not
+// available to the paper's authors either — they approximated from
+// published figures, and we encode the same anchor constraints the paper
+// states: for the Tier-1 ISP trace, flows ≤141 KB carry roughly a third
+// of bytes while being the overwhelming majority of flows (>95 % of web
+// transfers are below 141 KB); for both data-center traces, flows below
+// 141 KB carry <1 % of bytes.
+
+// InternetSizes approximates the Tier-1 ISP backbone distribution of
+// Qian et al. [30].
+func InternetSizes() *Empirical {
+	return MustEmpirical("Internet", []Anchor{
+		{Bytes: 300, P: 0.10},
+		{Bytes: 1 << 10, P: 0.30},
+		{Bytes: 5 << 10, P: 0.55},
+		{Bytes: 20 << 10, P: 0.72},
+		{Bytes: 60 << 10, P: 0.84},
+		{Bytes: 141 << 10, P: 0.93},
+		{Bytes: 400 << 10, P: 0.98},
+		{Bytes: 1 << 20, P: 1.00},
+	})
+}
+
+// BensonSizes approximates the private enterprise data-center
+// distribution of Benson et al. [9]: flows are overwhelmingly small, but
+// nearly all bytes ride in the large tail.
+func BensonSizes() *Empirical {
+	return MustEmpirical("Benson", []Anchor{
+		{Bytes: 200, P: 0.20},
+		{Bytes: 1 << 10, P: 0.50},
+		{Bytes: 10 << 10, P: 0.80},
+		{Bytes: 141 << 10, P: 0.92},
+		{Bytes: 512 << 10, P: 0.97},
+		{Bytes: 1 << 20, P: 1.00},
+	})
+}
+
+// VL2Sizes approximates the public data-center distribution of Greenberg
+// et al. [21]: strongly bimodal — mice plus a heavy elephant mode (here
+// compressed under the 1 MB truncation).
+func VL2Sizes() *Empirical {
+	return MustEmpirical("VL2", []Anchor{
+		{Bytes: 300, P: 0.30},
+		{Bytes: 2 << 10, P: 0.55},
+		{Bytes: 20 << 10, P: 0.65},
+		{Bytes: 141 << 10, P: 0.78},
+		{Bytes: 700 << 10, P: 0.92},
+		{Bytes: 1 << 20, P: 1.00},
+	})
+}
+
+// EvaluatedDistributions returns the three Fig. 11 distributions in the
+// paper's order.
+func EvaluatedDistributions() []*Empirical {
+	return []*Empirical{InternetSizes(), BensonSizes(), VL2Sizes()}
+}

@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"fmt"
+
+	"halfback/internal/sim"
+)
+
+// Page models one website front page for the §4.4 application-level
+// benchmark: the base document plus its embedded objects, fetched in the
+// order a browser discovers them over a bounded number of concurrent
+// connections.
+type Page struct {
+	Name        string
+	ObjectBytes []int
+}
+
+// TotalBytes returns the page weight.
+func (p Page) TotalBytes() int {
+	total := 0
+	for _, b := range p.ObjectBytes {
+		total += b
+	}
+	return total
+}
+
+// NumObjects returns how many objects the page embeds.
+func (p Page) NumObjects() int { return len(p.ObjectBytes) }
+
+// MaxConcurrentConns is the per-page connection parallelism — browsers
+// of the paper's era opened up to 6 connections per host, and the paper
+// attributes JumpStart's application-level collapse precisely to these
+// "multiple concurrent short flows".
+const MaxConcurrentConns = 6
+
+// BuildCorpus generates n synthetic front pages with the composition
+// statistics of popular 2015-era websites (HTTP Archive: ~90 objects and
+// ~2 MB per page at the extreme, with a long tail of lighter pages):
+// object counts log-uniform between 8 and 120, a small HTML document
+// first, then objects with bounded-Pareto sizes (median ~10 KB, tail to
+// 500 KB). The corpus is deterministic in the seed, standing in for the
+// paper's Alexa top-100 crawl (the crawl data is not public).
+func BuildCorpus(seed uint64, n int) []Page {
+	rng := sim.NewRand(seed)
+	pages := make([]Page, n)
+	for i := range pages {
+		r := rng.Fork()
+		count := int(r.LogUniform(5, 50))
+		objs := make([]int, 0, count+1)
+		// Base document: 10–60 KB of HTML.
+		objs = append(objs, int(r.LogUniform(10<<10, 60<<10)))
+		for j := 0; j < count; j++ {
+			// Two asset populations: small scripts/styles/beacons,
+			// and the image tail that carries most page bytes. The
+			// 100 *most popular* front pages of 2015 (google, baidu,
+			// facebook, yahoo, ...) skew far lighter than the web
+			// average: a few hundred KB is typical.
+			if r.Bool(0.50) {
+				objs = append(objs, int(r.LogUniform(1500, 15<<10)))
+			} else {
+				objs = append(objs, int(r.Pareto(1.3, 15<<10, 300<<10)))
+			}
+		}
+		pages[i] = Page{Name: fmt.Sprintf("site%03d", i), ObjectBytes: objs}
+	}
+	return pages
+}
+
+// MeanPageBytes returns the corpus's average page weight, used to set
+// request arrival rates for a target utilization.
+func MeanPageBytes(pages []Page) float64 {
+	if len(pages) == 0 {
+		return 0
+	}
+	var total float64
+	for _, p := range pages {
+		total += float64(p.TotalBytes())
+	}
+	return total / float64(len(pages))
+}
