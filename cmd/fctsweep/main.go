@@ -13,11 +13,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
 
 	"halfback/internal/experiment"
+	"halfback/internal/fleet"
 	"halfback/internal/metrics"
 	"halfback/internal/netem"
 	"halfback/internal/scheme"
@@ -35,9 +37,14 @@ func main() {
 		rateMbps   = flag.Int64("rate", 15, "bottleneck rate in Mbit/s")
 		horizon    = flag.Duration("horizon", 60*time.Second, "virtual seconds of arrivals per cell")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+		workers    = flag.Int("workers", runtime.NumCPU(), "cells to simulate concurrently; 1 forces the serial path")
 	)
 	flag.Parse()
 
+	if *workers < 1 {
+		fmt.Fprintln(os.Stderr, "fctsweep: -workers must be ≥ 1")
+		os.Exit(2)
+	}
 	var utils []float64
 	for _, f := range strings.Split(*utilsArg, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
@@ -59,11 +66,20 @@ func main() {
 	table := metrics.NewTable(
 		fmt.Sprintf("FCT sweep: %dB flows, %dMbps bottleneck, %v RTT, %dB buffer", *flowBytes, *rateMbps, *rttArg, *bufBytes),
 		"scheme", "utilization_%", "flows", "mean_fct_ms", "p50_ms", "p99_ms", "mean_norm_retx", "completion")
-	for _, name := range names {
-		for _, util := range utils {
-			row := runCell(*seed, name, util, *flowBytes, *bufBytes, *rttArg, *rateMbps*netem.Mbps, *horizon)
-			table.AddRow(row...)
-		}
+	// Every (scheme, utilization) cell is an independent universe; fan
+	// them out and add the rows back in sweep order.
+	rows, err := fleet.Map(*workers, len(names)*len(utils), func(i int) string {
+		return fmt.Sprintf("%s @%.0f%%", names[i/len(utils)], utils[i%len(utils)]*100)
+	}, func(i int) ([]any, error) {
+		name, util := names[i/len(utils)], utils[i%len(utils)]
+		return runCell(*seed, name, util, *flowBytes, *bufBytes, *rttArg, *rateMbps*netem.Mbps, *horizon), nil
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fctsweep: %v\n", err)
+		os.Exit(1)
+	}
+	for _, row := range rows {
+		table.AddRow(row...)
 	}
 	table.WriteTo(os.Stdout)
 }

@@ -6,15 +6,19 @@
 //	halfback-sim -fig all -scale 0.1    # everything, reduced
 //	halfback-sim -list                  # show available exhibits
 //	halfback-sim -fig 6 -csv            # CSV instead of aligned text
+//	halfback-sim -fig 10 -workers 1     # force the serial sweep path
 //
 // Output goes to stdout; each exhibit renders one or more tables whose
-// rows are the data series of the corresponding figure.
+// rows are the data series of the corresponding figure. Sweeps fan
+// their simulation universes out across -workers goroutines (default:
+// one per CPU); the output is bit-identical for every worker count.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"halfback/internal/experiment"
@@ -22,11 +26,12 @@ import (
 
 func main() {
 	var (
-		fig   = flag.String("fig", "", "exhibit to regenerate: 1,2,5..17,table1 or 'all'")
-		seed  = flag.Uint64("seed", 1, "simulation seed")
-		scale = flag.Float64("scale", 1.0, "scale factor in (0,1]: trial counts and horizons shrink proportionally")
-		list  = flag.Bool("list", false, "list available exhibits")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		fig     = flag.String("fig", "", "exhibit to regenerate: 1,2,5..17,table1 or 'all'")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+		scale   = flag.Float64("scale", 1.0, "scale factor in (0,1]: trial counts and horizons shrink proportionally")
+		workers = flag.Int("workers", runtime.NumCPU(), "simulation universes to run concurrently; 1 forces the serial path")
+		list    = flag.Bool("list", false, "list available exhibits")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
 	flag.Parse()
 
@@ -44,7 +49,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "halfback-sim: -scale must be in (0,1]")
 		os.Exit(2)
 	}
-	sc := experiment.Scale{Trials: *scale, Horizon: *scale}
+	if *workers < 1 {
+		fmt.Fprintln(os.Stderr, "halfback-sim: -workers must be ≥ 1")
+		os.Exit(2)
+	}
+	sc := experiment.Scale{Trials: *scale, Horizon: *scale, Workers: *workers}
 
 	var entries []experiment.Entry
 	if *fig == "all" {
@@ -58,10 +67,19 @@ func main() {
 		entries = []experiment.Entry{e}
 	}
 
+	failed := false
 	for _, e := range entries {
 		start := time.Now()
-		fmt.Printf("=== exhibit %s: %s (seed=%d scale=%g)\n", e.ID, e.Title, *seed, *scale)
-		res := e.Run(*seed, sc)
+		fmt.Printf("=== exhibit %s: %s (seed=%d scale=%g workers=%d)\n", e.ID, e.Title, *seed, *scale, *workers)
+		res, err := runExhibit(e, *seed, sc)
+		if err != nil {
+			// A crashed universe surfaces as a labelled job error after
+			// the rest of the sweep completed; report it and keep going
+			// with the remaining exhibits.
+			fmt.Fprintf(os.Stderr, "halfback-sim: exhibit %s failed: %v\n", e.ID, err)
+			failed = true
+			continue
+		}
 		for _, t := range res.Tables() {
 			if *csv {
 				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
@@ -72,4 +90,22 @@ func main() {
 		}
 		fmt.Printf("=== exhibit %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// runExhibit converts an exhibit panic (e.g. the aggregate job error a
+// sweep raises for crashed universes) into an error.
+func runExhibit(e experiment.Entry, seed uint64, sc experiment.Scale) (res experiment.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if e, ok := r.(error); ok {
+				err = e
+				return
+			}
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return e.Run(seed, sc), nil
 }

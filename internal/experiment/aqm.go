@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"halfback/internal/metrics"
 	"halfback/internal/netem"
 	"halfback/internal/scheme"
@@ -34,16 +36,17 @@ func aqmSchemes() []string {
 	return []string{scheme.TCP, scheme.TCP10, scheme.JumpStart, scheme.Halfback}
 }
 
-// AQM runs the grid.
+// AQM runs the grid, one universe per (discipline, scheme) cell.
 func AQM(seed uint64, sc Scale) *AQMResult {
-	res := &AQMResult{}
 	horizon := sc.horizon(bufferbloatHorizon)
-	for _, disc := range []netem.QueueDiscipline{netem.DropTail, netem.CoDel, netem.RED} {
-		for _, name := range aqmSchemes() {
-			res.Rows = append(res.Rows, runAQMCell(seed, name, disc, horizon))
-		}
-	}
-	return res
+	discs := []netem.QueueDiscipline{netem.DropTail, netem.CoDel, netem.RED}
+	schemes := aqmSchemes()
+	rows := grid(sc, len(discs), len(schemes), func(di, si int) string {
+		return fmt.Sprintf("aqm %s %s", schemes[si], discs[di])
+	}, func(di, si int) AQMRow {
+		return runAQMCell(seed, schemes[si], discs[di], horizon)
+	})
+	return &AQMResult{Rows: rows}
 }
 
 func runAQMCell(seed uint64, schemeName string, disc netem.QueueDiscipline, horizon sim.Duration) AQMRow {

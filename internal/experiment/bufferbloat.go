@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"halfback/internal/metrics"
 	"halfback/internal/netem"
 	"halfback/internal/scheme"
@@ -46,16 +48,17 @@ type Fig10Result struct {
 	Rows []Fig10Row
 }
 
-// Fig10 runs the sweep.
+// Fig10 runs the sweep, one universe per (buffer, scheme) cell.
 func Fig10(seed uint64, sc Scale) *Fig10Result {
-	res := &Fig10Result{}
 	horizon := sc.horizon(bufferbloatHorizon)
-	for _, buf := range bufferbloatBuffers() {
-		for _, name := range bufferbloatSchemes() {
-			res.Rows = append(res.Rows, runBufferbloatCell(seed, name, buf, horizon))
-		}
-	}
-	return res
+	bufs := bufferbloatBuffers()
+	schemes := bufferbloatSchemes()
+	rows := grid(sc, len(bufs), len(schemes), func(bi, si int) string {
+		return fmt.Sprintf("fig10 %s buffer %dKB", schemes[si], bufs[bi]/1000)
+	}, func(bi, si int) Fig10Row {
+		return runBufferbloatCell(seed, schemes[si], bufs[bi], horizon)
+	})
+	return &Fig10Result{Rows: rows}
 }
 
 func runBufferbloatCell(seed uint64, schemeName string, buf int, horizon sim.Duration) Fig10Row {

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"halfback/internal/metrics"
 	"halfback/internal/netem"
 	"halfback/internal/scheme"
@@ -55,16 +57,17 @@ type CapacitySweep struct {
 	Points []CapacityPoint
 }
 
-// RunCapacitySweep measures every (scheme, utilization) cell.
+// RunCapacitySweep measures every (scheme, utilization) cell; the cells
+// are independent universes and fan out across sc.Workers goroutines.
 func RunCapacitySweep(seed uint64, sc Scale, schemes []string) *CapacitySweep {
-	res := &CapacitySweep{}
 	horizon := sc.horizon(capacityHorizon)
-	for _, name := range schemes {
-		for _, util := range capacityUtils() {
-			res.Points = append(res.Points, runCapacityCell(seed, name, util, horizon))
-		}
-	}
-	return res
+	utils := capacityUtils()
+	points := grid(sc, len(schemes), len(utils), func(si, ui int) string {
+		return fmt.Sprintf("capacity %s @%.0f%%", schemes[si], utils[ui]*100)
+	}, func(si, ui int) CapacityPoint {
+		return runCapacityCell(seed, schemes[si], utils[ui], horizon)
+	})
+	return &CapacitySweep{Points: points}
 }
 
 func runCapacityCell(seed uint64, schemeName string, util float64, horizon sim.Duration) CapacityPoint {

@@ -1,0 +1,73 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+
+	"halfback/internal/fleet"
+)
+
+// renderAll flattens an exhibit's tables into the exact text a user
+// sees, so equality below means byte-identical output, not merely
+// equal aggregates.
+func renderAll(res Result) string {
+	var b strings.Builder
+	for _, tb := range res.Tables() {
+		b.WriteString(tb.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// firstDiff locates the first line where two renderings diverge, for a
+// failure message that points at the cell rather than dumping both
+// tables.
+func firstDiff(a, b string) (line int, wantLine, gotLine string) {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var x, y string
+		if i < len(al) {
+			x = al[i]
+		}
+		if i < len(bl) {
+			y = bl[i]
+		}
+		if x != y {
+			return i + 1, x, y
+		}
+	}
+	return 0, "", ""
+}
+
+// The parallel sweep engine's contract: for every registered exhibit,
+// a -workers 8 run renders byte-identical tables to a -workers 1 run.
+// This is the whole-repo determinism proof — it exercises every sweep
+// retrofit (PlanetLab, bufferbloat, flow sizes, capacity search, mixed
+// traffic, web corpus, AQM, multihop, extensions) end to end.
+//
+// At Quick scale the full registry costs a few CPU-minutes; under the
+// race detector the scale drops to tiny (the point there is catching
+// races between concurrent universes, and instrumentation overhead
+// would otherwise blow the package timeout).
+func TestParallelMatchesSerialByteForByte(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-registry equivalence sweep; run without -short")
+	}
+	sc := Quick
+	if fleet.RaceEnabled {
+		sc = tiny
+	}
+	serial, parallel := sc, sc
+	serial.Workers = 1
+	parallel.Workers = 8
+	for _, e := range Registry() {
+		t.Run("fig"+e.ID, func(t *testing.T) {
+			want := renderAll(e.Run(1, serial))
+			got := renderAll(e.Run(1, parallel))
+			if got != want {
+				n, w, g := firstDiff(want, got)
+				t.Fatalf("workers=8 output diverges from workers=1 at line %d:\n  serial:   %q\n  parallel: %q", n, w, g)
+			}
+		})
+	}
+}

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"halfback/internal/metrics"
 	"halfback/internal/scheme"
 	"halfback/internal/workload"
@@ -26,13 +28,18 @@ func extSchemes() []string {
 }
 
 // Extensions runs the ablation: FCT-by-size on the Internet mix plus a
-// feasible-capacity sweep.
+// feasible-capacity sweep. Both halves fan out on the fleet engine.
 func Extensions(seed uint64, sc Scale) *ExtResult {
 	res := &ExtResult{Schemes: extSchemes()}
 	horizon := sc.horizon(fig11Horizon)
 	dist := workload.InternetSizes()
-	for _, name := range res.Schemes {
-		res.SmallFlows = append(res.SmallFlows, runFig11Cell(seed, dist, name, horizon)...)
+	cells := sweep(sc, len(res.Schemes), func(i int) string {
+		return fmt.Sprintf("ext sizes %s", res.Schemes[i])
+	}, func(i int) []Fig11Point {
+		return runFig11Cell(seed, dist, res.Schemes[i], horizon)
+	})
+	for _, pts := range cells {
+		res.SmallFlows = append(res.SmallFlows, pts...)
 	}
 	res.Sweep = RunCapacitySweep(seed, sc, res.Schemes)
 	return res

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"fmt"
 	"sort"
 
 	"halfback/internal/metrics"
@@ -49,14 +50,20 @@ func fig11Schemes() []string {
 	}
 }
 
-// Fig11 runs the experiment for all three distributions.
+// Fig11 runs the experiment for all three distributions, one universe
+// per (distribution, scheme) cell.
 func Fig11(seed uint64, sc Scale) *Fig11Result {
 	res := &Fig11Result{}
 	horizon := sc.horizon(fig11Horizon)
-	for _, dist := range workload.EvaluatedDistributions() {
-		for _, name := range fig11Schemes() {
-			res.Points = append(res.Points, runFig11Cell(seed, dist, name, horizon)...)
-		}
+	dists := workload.EvaluatedDistributions()
+	schemes := fig11Schemes()
+	cells := grid(sc, len(dists), len(schemes), func(di, si int) string {
+		return fmt.Sprintf("fig11 %s %s", dists[di].Name(), schemes[si])
+	}, func(di, si int) []Fig11Point {
+		return runFig11Cell(seed, dists[di], schemes[si], horizon)
+	})
+	for _, pts := range cells {
+		res.Points = append(res.Points, pts...)
 	}
 	return res
 }

@@ -1,0 +1,48 @@
+package experiment
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files under testdata/")
+
+// The cheap exhibits are pinned to golden renderings at Quick scale,
+// seed 1: any change to the simulator core, the schemes, the PRNG or
+// the table formatter that shifts a single byte of output fails here
+// before it can silently invalidate recorded results. Regenerate
+// deliberately with:
+//
+//	go test ./internal/experiment -run TestGoldenTables -update
+//
+// The runs use the default worker count, so a green golden test on a
+// multi-core machine is also a spot check of the parallel path against
+// renderings produced by the serial code.
+func TestGoldenTables(t *testing.T) {
+	for _, id := range []string{"2", "3"} {
+		t.Run("fig"+id, func(t *testing.T) {
+			e, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderAll(e.Run(1, Quick))
+			path := filepath.Join("testdata", "fig"+id+"_quick.golden")
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				n, w, g := firstDiff(string(want), got)
+				t.Fatalf("fig %s diverges from %s at line %d:\n  golden:  %q\n  current: %q", id, path, n, w, g)
+			}
+		})
+	}
+}

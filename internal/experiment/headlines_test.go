@@ -8,6 +8,7 @@ package experiment
 import (
 	"testing"
 
+	"halfback/internal/fleet"
 	"halfback/internal/metrics"
 	"halfback/internal/scheme"
 )
@@ -16,10 +17,23 @@ import (
 // enough samples for stable orderings.
 var headlineScale = Scale{Trials: 0.08, Horizon: 0.3}
 
-func TestHeadlinePlanetLabOrdering(t *testing.T) {
+// skipHeadline gates the statistical tests: they are minutes of
+// single-universe simulation, so they skip under -short, and under the
+// race detector too — they exercise no concurrency of their own (the
+// sweep-equivalence and cache-isolation tests cover that) and the ~10×
+// instrumentation tax buys nothing here.
+func skipHeadline(t *testing.T) {
+	t.Helper()
 	if testing.Short() {
 		t.Skip("headline test")
 	}
+	if fleet.RaceEnabled {
+		t.Skip("single-universe statistics; race builds cover concurrency elsewhere")
+	}
+}
+
+func TestHeadlinePlanetLabOrdering(t *testing.T) {
+	skipHeadline(t)
 	d := RunPlanetLab(11, headlineScale)
 	fcts := d.FCTms()
 	mean := func(name string) float64 { return metrics.Summarize(fcts[name]).Mean }
@@ -70,9 +84,7 @@ func TestHeadlinePlanetLabOrdering(t *testing.T) {
 }
 
 func TestHeadlineLossySubsetAdvantage(t *testing.T) {
-	if testing.Short() {
-		t.Skip("headline test")
-	}
+	skipHeadline(t)
 	d := RunPlanetLab(13, headlineScale)
 	lossy := d.LossyFCTms()
 	hb := metrics.Summarize(lossy[scheme.Halfback]).Median()
@@ -86,9 +98,7 @@ func TestHeadlineLossySubsetAdvantage(t *testing.T) {
 }
 
 func TestHeadlineFeasibleCapacityOrdering(t *testing.T) {
-	if testing.Short() {
-		t.Skip("headline test")
-	}
+	skipHeadline(t)
 	sweep := RunCapacitySweep(17, Scale{Trials: 1, Horizon: 0.35}, []string{
 		scheme.TCP, scheme.JumpStart, scheme.Halfback, scheme.Proactive, scheme.HalfbackForward,
 	})
@@ -123,9 +133,7 @@ func TestHeadlineFeasibleCapacityOrdering(t *testing.T) {
 }
 
 func TestHeadlineBufferbloat(t *testing.T) {
-	if testing.Short() {
-		t.Skip("headline test")
-	}
+	skipHeadline(t)
 	// One small-buffer cell, per Fig. 10(b): Halfback needs a fraction
 	// of JumpStart's normal retransmissions (paper: ~10×).
 	horizon := headlineScale.horizon(bufferbloatHorizon)
@@ -144,9 +152,7 @@ func TestHeadlineBufferbloat(t *testing.T) {
 }
 
 func TestHeadlineFriendliness(t *testing.T) {
-	if testing.Short() {
-		t.Skip("headline test")
-	}
+	skipHeadline(t)
 	res := Fig14(23, Scale{Trials: 1, Horizon: 0.5})
 	// §4.3.3: Halfback, TCP-10 and Reactive sit near (1,1); their
 	// presence does not slow co-existing TCP flows much.
@@ -164,9 +170,7 @@ func TestHeadlineFriendliness(t *testing.T) {
 }
 
 func TestHeadlineShortVsLong(t *testing.T) {
-	if testing.Short() {
-		t.Skip("headline test")
-	}
+	skipHeadline(t)
 	res := Fig13(29, Scale{Trials: 1, Horizon: 0.4})
 	// §4.3.2 at 50% utilization: Halfback cuts short-flow FCT roughly
 	// in half vs the all-TCP baseline while barely touching the long
@@ -191,9 +195,7 @@ func TestHeadlineShortVsLong(t *testing.T) {
 }
 
 func TestHeadlineWebResponse(t *testing.T) {
-	if testing.Short() {
-		t.Skip("headline test")
-	}
+	skipHeadline(t)
 	res := Fig16(31, Scale{Trials: 1, Horizon: 0.4})
 	// §4.4 at low utilization: Halfback at or near the front; TCP
 	// clearly behind it.
@@ -216,9 +218,7 @@ func TestHeadlineWebResponse(t *testing.T) {
 }
 
 func TestHeadlineAQMComplementarity(t *testing.T) {
-	if testing.Short() {
-		t.Skip("headline test")
-	}
+	skipHeadline(t)
 	res := AQM(3, Scale{Trials: 1, Horizon: 0.3})
 	get := func(s, d string) AQMRow {
 		row, ok := res.Cell(s, d)

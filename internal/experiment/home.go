@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"halfback/internal/metrics"
 	"halfback/internal/scheme"
 	"halfback/internal/sim"
@@ -20,22 +22,41 @@ type Fig9Result struct {
 }
 
 // Fig9 runs the experiment: for each access profile and each of the 170
-// server RTT draws, one cold download per scheme.
+// server RTT draws, one cold download per scheme. The populations are
+// drawn serially (their generator forks from one shared parent), then
+// every (profile, server, scheme) download is an independent universe.
 func Fig9(seed uint64, sc Scale) *Fig9Result {
 	rng := sim.NewRand(seed)
 	res := &Fig9Result{FCTms: make(map[string]map[string][]float64)}
 	schemes := []string{scheme.Halfback, scheme.TCP}
 	servers := sc.trials(HomeServers)
-	for _, profile := range workload.HomeProfiles() {
+	profiles := workload.HomeProfiles()
+	specs := make([][]workload.PathSpec, len(profiles))
+	for i, profile := range profiles {
 		res.order = append(res.order, profile.Name)
+		specs[i] = workload.HomePopulation(rng.ForkNamed(profile.Name), profile, servers)
+	}
+
+	type fetch struct {
+		completed bool
+		fctMs     float64
+	}
+	fetches := grid(sc, len(profiles)*servers, len(schemes), func(r, si int) string {
+		return fmt.Sprintf("fig9 %s server %d scheme %s", profiles[r/servers].Name, r%servers, schemes[si])
+	}, func(r, si int) fetch {
+		pi := r % servers
+		ps := NewPathSim(seed^uint64(pi*977+si+13), specs[r/servers][pi].ToConfig())
+		st := ps.FetchOnce(scheme.MustNew(schemes[si]), PlanetLabFlowBytes, 120*sim.Second)
+		return fetch{completed: st.Completed, fctMs: st.FCT().Seconds() * 1000}
+	})
+
+	for i, profile := range profiles {
 		per := make(map[string][]float64)
-		specs := workload.HomePopulation(rng.ForkNamed(profile.Name), profile, servers)
-		for pi, spec := range specs {
+		for pi := 0; pi < servers; pi++ {
 			for si, name := range schemes {
-				ps := NewPathSim(seed^uint64(pi*977+si+13), spec.ToConfig())
-				st := ps.FetchOnce(scheme.MustNew(name), PlanetLabFlowBytes, 120*sim.Second)
-				if st.Completed {
-					per[name] = append(per[name], st.FCT().Seconds()*1000)
+				f := fetches[(i*servers+pi)*len(schemes)+si]
+				if f.completed {
+					per[name] = append(per[name], f.fctMs)
 				}
 			}
 		}

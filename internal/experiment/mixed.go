@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"halfback/internal/metrics"
 	"halfback/internal/netem"
 	"halfback/internal/scheme"
@@ -102,7 +104,9 @@ func runFig13Cell(seed uint64, schemeName string, sched fig13Schedule, horizon s
 }
 
 // Fig13 runs the sweep. The TCP cell doubles as the normalization
-// baseline for each utilization.
+// baseline for each utilization; it is just another independent
+// universe, so baselines and scheme cells all fan out together and the
+// normalization happens in the ordered merge.
 func Fig13(seed uint64, sc Scale) *Fig13Result {
 	res := &Fig13Result{}
 	horizon := sc.horizon(fig13Horizon)
@@ -110,20 +114,42 @@ func Fig13(seed uint64, sc Scale) *Fig13Result {
 	if longBytes < 2_000_000 {
 		longBytes = 2_000_000
 	}
-	for _, util := range fig13Utils() {
-		sched := makeFig13Schedule(seed^uint64(util*10007), util, horizon, longBytes)
-		baseShort, baseLong := runFig13Cell(seed, scheme.TCP, sched, horizon)
-		for _, name := range fig13Schemes() {
-			sMean, lMean := runFig13Cell(seed, name, sched, horizon)
+	utils := fig13Utils()
+	schemes := fig13Schemes()
+	schedules := make([]fig13Schedule, len(utils))
+	for i, util := range utils {
+		schedules[i] = makeFig13Schedule(seed^uint64(util*10007), util, horizon, longBytes)
+	}
+
+	// Column 0 is the all-TCP baseline; column 1+i is schemes[i].
+	type cell struct{ shortMs, longMs float64 }
+	cellScheme := func(ci int) string {
+		if ci == 0 {
+			return scheme.TCP
+		}
+		return schemes[ci-1]
+	}
+	cells := grid(sc, len(utils), 1+len(schemes), func(ui, ci int) string {
+		return fmt.Sprintf("fig13 %s @%.0f%%", cellScheme(ci), utils[ui]*100)
+	}, func(ui, ci int) cell {
+		s, l := runFig13Cell(seed, cellScheme(ci), schedules[ui], horizon)
+		return cell{shortMs: s, longMs: l}
+	})
+
+	cols := 1 + len(schemes)
+	for ui, util := range utils {
+		base := cells[ui*cols]
+		for i, name := range schemes {
+			c := cells[ui*cols+1+i]
 			pt := Fig13Point{
 				Scheme: name, Utilization: util,
-				ShortMeanMs: sMean, LongMeanMs: lMean,
+				ShortMeanMs: c.shortMs, LongMeanMs: c.longMs,
 			}
-			if baseShort > 0 {
-				pt.ShortNormalized = sMean / baseShort
+			if base.shortMs > 0 {
+				pt.ShortNormalized = c.shortMs / base.shortMs
 			}
-			if baseLong > 0 {
-				pt.LongNormalized = lMean / baseLong
+			if base.longMs > 0 {
+				pt.LongNormalized = c.longMs / base.longMs
 			}
 			res.Points = append(res.Points, pt)
 		}
@@ -187,28 +213,58 @@ type Fig14Result struct {
 
 const fig14Horizon = 120 * sim.Second
 
-// Fig14 runs the experiment.
+// Fig14 runs the experiment. Every reference and mixed deployment is an
+// independent universe over a shared per-utilization arrival schedule,
+// so the whole matrix fans out at once: column 0 is the homogeneous TCP
+// reference, then (homogeneous, mixed) pairs per scheme.
 func Fig14(seed uint64, sc Scale) *Fig14Result {
 	res := &Fig14Result{}
 	horizon := sc.horizon(fig14Horizon)
-	for _, util := range fig14Utils() {
-		arrivals := workload.PoissonArrivals(
+	utils := fig14Utils()
+	schemes := fig14Schemes()
+	arrivals := make([][]workload.Arrival, len(utils))
+	for i, util := range utils {
+		arrivals[i] = workload.PoissonArrivals(
 			sim.NewRand(seed^uint64(util*1e4)).ForkNamed("fig14"),
 			workload.Fixed{Bytes: PlanetLabFlowBytes},
 			workload.MeanInterarrivalFor(float64(PlanetLabFlowBytes), util, 15*netem.Mbps),
 			horizon)
-		// Homogeneous TCP reference, shared by every scheme at this
-		// utilization.
-		allTCP := runFig14Homogeneous(seed, scheme.TCP, arrivals, horizon)
-		for _, name := range fig14Schemes() {
-			allScheme := runFig14Homogeneous(seed, name, arrivals, horizon)
-			mixTCP, mixScheme, jain := runFig14Mixed(seed, name, arrivals, horizon)
-			pt := Fig14Point{Scheme: name, Utilization: util, Jain: jain}
+	}
+
+	type cell struct{ homog, mixTCP, mixScheme, jain float64 }
+	cells := grid(sc, len(utils), 1+2*len(schemes), func(ui, ci int) string {
+		switch {
+		case ci == 0:
+			return fmt.Sprintf("fig14 all-TCP @%.0f%%", utils[ui]*100)
+		case ci%2 == 1:
+			return fmt.Sprintf("fig14 all-%s @%.0f%%", schemes[ci/2], utils[ui]*100)
+		default:
+			return fmt.Sprintf("fig14 mixed-%s @%.0f%%", schemes[ci/2-1], utils[ui]*100)
+		}
+	}, func(ui, ci int) cell {
+		switch {
+		case ci == 0:
+			return cell{homog: runFig14Homogeneous(seed, scheme.TCP, arrivals[ui], horizon)}
+		case ci%2 == 1:
+			return cell{homog: runFig14Homogeneous(seed, schemes[ci/2], arrivals[ui], horizon)}
+		default:
+			mt, ms, j := runFig14Mixed(seed, schemes[ci/2-1], arrivals[ui], horizon)
+			return cell{mixTCP: mt, mixScheme: ms, jain: j}
+		}
+	})
+
+	cols := 1 + 2*len(schemes)
+	for ui, util := range utils {
+		allTCP := cells[ui*cols].homog
+		for i, name := range schemes {
+			allScheme := cells[ui*cols+1+2*i].homog
+			mixed := cells[ui*cols+2+2*i]
+			pt := Fig14Point{Scheme: name, Utilization: util, Jain: mixed.jain}
 			if allTCP > 0 {
-				pt.TCPRatio = mixTCP / allTCP
+				pt.TCPRatio = mixed.mixTCP / allTCP
 			}
 			if allScheme > 0 {
-				pt.SchemeRatio = mixScheme / allScheme
+				pt.SchemeRatio = mixed.mixScheme / allScheme
 			}
 			res.Points = append(res.Points, pt)
 		}

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"halfback/internal/metrics"
 	"halfback/internal/netem"
 	"halfback/internal/scheme"
@@ -37,16 +39,17 @@ func multihopSchemes() []string {
 	return []string{scheme.TCP, scheme.TCP10, scheme.JumpStart, scheme.Halfback}
 }
 
-// Multihop runs the grid.
+// Multihop runs the grid, one universe per (utilization, scheme) cell.
 func Multihop(seed uint64, sc Scale) *MultihopResult {
-	res := &MultihopResult{}
 	horizon := sc.horizon(multihopHorizon)
-	for _, util := range []float64{0.10, 0.30, 0.50} {
-		for _, name := range multihopSchemes() {
-			res.Rows = append(res.Rows, runMultihopCell(seed, name, util, horizon))
-		}
-	}
-	return res
+	utils := []float64{0.10, 0.30, 0.50}
+	schemes := multihopSchemes()
+	rows := grid(sc, len(utils), len(schemes), func(ui, si int) string {
+		return fmt.Sprintf("multihop %s @%.0f%%", schemes[si], utils[ui]*100)
+	}, func(ui, si int) MultihopRow {
+		return runMultihopCell(seed, schemes[si], utils[ui], horizon)
+	})
+	return &MultihopResult{Rows: rows}
 }
 
 func runMultihopCell(seed uint64, schemeName string, util float64, horizon sim.Duration) MultihopRow {

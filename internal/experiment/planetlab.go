@@ -40,21 +40,24 @@ type PlanetLabData struct {
 }
 
 // RunPlanetLab executes the §4.2.1 campaign: for every generated path
-// and every scheme, one cold 100 KB download on a fresh network.
+// and every scheme, one cold 100 KB download on a fresh network. The
+// path population is drawn serially (its generator is shared), then the
+// path×scheme universes fan out across sc.Workers goroutines.
 func RunPlanetLab(seed uint64, sc Scale) *PlanetLabData {
 	rng := sim.NewRand(seed)
 	n := sc.trials(PlanetLabPairs)
 	specs := workload.PlanetLabPopulation(rng.ForkNamed("paths"), n)
+	schemes := planetLabSchemes()
 	data := &PlanetLabData{Pairs: n}
-	for pi, spec := range specs {
-		for si, name := range planetLabSchemes() {
-			ps := NewPathSim(seed^uint64(pi*131+si+7), spec.ToConfig())
-			st := ps.FetchOnce(scheme.MustNew(name), PlanetLabFlowBytes, 120*sim.Second)
-			data.Trials = append(data.Trials, PlanetLabTrial{
-				Pair: pi, Scheme: name, Path: spec, Stats: st,
-			})
-		}
-	}
+	data.Trials = grid(sc, n, len(schemes), func(pi, si int) string {
+		return fmt.Sprintf("planetlab pair %d scheme %s", pi, schemes[si])
+	}, func(pi, si int) PlanetLabTrial {
+		spec := specs[pi]
+		name := schemes[si]
+		ps := NewPathSim(seed^uint64(pi*131+si+7), spec.ToConfig())
+		st := ps.FetchOnce(scheme.MustNew(name), PlanetLabFlowBytes, 120*sim.Second)
+		return PlanetLabTrial{Pair: pi, Scheme: name, Path: spec, Stats: st}
+	})
 	return data
 }
 

@@ -8,6 +8,7 @@ package experiment
 import (
 	"fmt"
 
+	"halfback/internal/fleet"
 	"halfback/internal/metrics"
 	"halfback/internal/netem"
 	"halfback/internal/scheme"
@@ -21,6 +22,13 @@ import (
 type Scale struct {
 	Trials  float64
 	Horizon float64
+
+	// Workers caps how many simulation universes a sweep runs
+	// concurrently: 0 means one per available CPU, 1 forces the serial
+	// path. Output is bit-identical for every value — the fleet engine
+	// merges results in job order and each universe derives all of its
+	// randomness from its own seed.
+	Workers int
 }
 
 // Full is the paper-scale configuration.
@@ -43,6 +51,32 @@ func (s Scale) horizon(d sim.Duration) sim.Duration {
 		v = sim.Second
 	}
 	return v
+}
+
+// sweep fans n independent universes out across sc.Workers goroutines
+// via the fleet engine and returns their results in index order, so
+// every sweep renders identically whatever the worker count. A universe
+// that panics becomes a labelled job error; the remaining universes
+// still run, then sweep panics with the aggregate so a broken cell
+// cannot silently produce a truncated exhibit.
+func sweep[T any](sc Scale, n int, label func(int) string, fn func(int) T) []T {
+	out, err := fleet.Map(sc.Workers, n, label, func(i int) (T, error) {
+		return fn(i), nil
+	})
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// grid is sweep over a rows×cols cell grid in row-major order — the
+// shape of almost every exhibit (schemes × operating points).
+func grid[T any](sc Scale, rows, cols int, label func(r, c int) string, fn func(r, c int) T) []T {
+	return sweep(sc, rows*cols, func(i int) string {
+		return label(i/cols, i%cols)
+	}, func(i int) T {
+		return fn(i/cols, i%cols)
+	})
 }
 
 // Result is what every experiment produces: one or more renderable

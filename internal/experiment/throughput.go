@@ -47,18 +47,28 @@ type Fig15Result struct {
 	Panels []Fig15Panel
 }
 
-// Fig15 runs the experiment. Scale is accepted for interface symmetry;
-// the scenario is already small.
-func Fig15(seed uint64, _ Scale) *Fig15Result {
-	res := &Fig15Result{}
-	res.Panels = append(res.Panels,
-		fig15Optimal(),
-		fig15Run(seed, "Halfback", []fig15Short{{scheme.Halfback, fig15ShortBytes}}),
-		fig15Run(seed, "One TCP short flow", []fig15Short{{scheme.TCP, fig15ShortBytes}}),
-		fig15Run(seed, "Two TCP half-size flows", []fig15Short{
+// Fig15 runs the experiment. Scale shrinks nothing here (the scenario
+// is already small) but carries the worker count: the three simulated
+// panels are independent universes.
+func Fig15(seed uint64, sc Scale) *Fig15Result {
+	scenarios := []struct {
+		name   string
+		shorts []fig15Short
+	}{
+		{"Halfback", []fig15Short{{scheme.Halfback, fig15ShortBytes}}},
+		{"One TCP short flow", []fig15Short{{scheme.TCP, fig15ShortBytes}}},
+		{"Two TCP half-size flows", []fig15Short{
 			{scheme.TCP, fig15ShortBytes / 2}, {scheme.TCP, fig15ShortBytes / 2},
-		}),
-	)
+		}},
+	}
+	panels := sweep(sc, len(scenarios), func(i int) string {
+		return "fig15 " + scenarios[i].name
+	}, func(i int) Fig15Panel {
+		return fig15Run(seed, scenarios[i].name, scenarios[i].shorts)
+	})
+	res := &Fig15Result{}
+	res.Panels = append(res.Panels, fig15Optimal())
+	res.Panels = append(res.Panels, panels...)
 	return res
 }
 

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+
 	"halfback/internal/metrics"
 	"halfback/internal/netem"
 	"halfback/internal/scheme"
@@ -64,19 +66,26 @@ func makeWebSchedule(seed uint64, util float64, pages []workload.Page, horizon s
 	return out
 }
 
-// Fig16 runs the application-level benchmark.
+// Fig16 runs the application-level benchmark. The corpus and the
+// per-utilization request schedules are built once up front (read-only
+// from then on), and every (utilization, scheme) page-load universe
+// fans out across sc.Workers goroutines.
 func Fig16(seed uint64, sc Scale) *Fig16Result {
-	res := &Fig16Result{}
 	pages := workload.BuildCorpus(seed^0xeb1, webCorpusSize)
 	horizon := sc.horizon(fig16Horizon)
 	cfg := netem.DumbbellConfig{Pairs: 16}.Defaulted()
-	for _, util := range fig16Utils() {
-		schedule := makeWebSchedule(seed, util, pages, horizon, cfg.BottleneckBps, cfg.Pairs)
-		for _, name := range fig16Schemes() {
-			res.Points = append(res.Points, runFig16Cell(seed, name, util, pages, schedule, horizon))
-		}
+	utils := fig16Utils()
+	schemes := fig16Schemes()
+	schedules := make([][]webRequest, len(utils))
+	for i, util := range utils {
+		schedules[i] = makeWebSchedule(seed, util, pages, horizon, cfg.BottleneckBps, cfg.Pairs)
 	}
-	return res
+	points := grid(sc, len(utils), len(schemes), func(ui, si int) string {
+		return fmt.Sprintf("fig16 %s @%.0f%%", schemes[si], utils[ui]*100)
+	}, func(ui, si int) Fig16Point {
+		return runFig16Cell(seed, schemes[si], utils[ui], pages, schedules[ui], horizon)
+	})
+	return &Fig16Result{Points: points}
 }
 
 // pageLoader drives one page request: dispatches object fetches in

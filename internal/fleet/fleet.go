@@ -1,0 +1,150 @@
+// Package fleet is the parallel sweep-execution engine: it fans
+// independent simulation universes out across a bounded pool of
+// goroutines and merges their results back in submission order, so a
+// parallel sweep's output is bit-identical to a serial run of the same
+// jobs.
+//
+// The determinism contract (DESIGN.md §5 "Parallel execution"):
+//
+//   - every job runs entirely on one goroutine — a simulation universe
+//     is never split across workers;
+//   - jobs share no mutable state — each builds its own scheduler, RNG
+//     and network from its inputs (seeds derived up front, e.g. via
+//     sim.ChildSeed, never from a generator shared between jobs);
+//   - results land at their job's index, so the merged slice is
+//     independent of completion order and of the worker count.
+//
+// A job that panics does not kill the sweep: the panic is captured and
+// converted into a labelled *JobError while the remaining jobs run to
+// completion.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"sync"
+
+	"halfback/internal/sim"
+)
+
+// JobError labels one failed job of a sweep: which index crashed, the
+// human-readable label the caller attached to it, and the underlying
+// error (for a captured panic, the panic value plus its stack).
+type JobError struct {
+	Index int
+	Label string
+	Err   error
+}
+
+// Error renders "job 17 (planetlab pair 2 scheme TCP): <cause>".
+func (e *JobError) Error() string {
+	if e.Label != "" {
+		return fmt.Sprintf("fleet: job %d (%s): %v", e.Index, e.Label, e.Err)
+	}
+	return fmt.Sprintf("fleet: job %d: %v", e.Index, e.Err)
+}
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *JobError) Unwrap() error { return e.Err }
+
+// Workers normalizes a requested worker count: values ≤ 0 select one
+// worker per available CPU (GOMAXPROCS); 1 forces the serial path.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return n
+}
+
+// Map runs fn for every index in [0,n) across Workers(workers)
+// goroutines and returns the results in index order: out[i] is fn(i)'s
+// value no matter which worker ran it or when it finished.
+//
+// label, when non-nil, names job i for error reports. A job that
+// returns an error or panics contributes a zero value at its index and
+// a *JobError to the joined error; the other jobs still run.
+func Map[T any](workers, n int, label func(int) string, fn func(int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	errs := make([]error, n)
+	if n == 0 {
+		return out, nil
+	}
+	w := Workers(workers)
+	if w > n {
+		w = n
+	}
+
+	if w == 1 {
+		// Serial reference path: same capture semantics, no goroutines.
+		for i := 0; i < n; i++ {
+			out[i], errs[i] = runJob(i, label, fn)
+		}
+		return out, errors.Join(errs...)
+	}
+
+	// next hands out job indices; results go straight to their slot, so
+	// no ordering coordination is needed beyond the WaitGroup.
+	var (
+		mu   sync.Mutex
+		next int
+		wg   sync.WaitGroup
+	)
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := take()
+				if !ok {
+					return
+				}
+				out[i], errs[i] = runJob(i, label, fn)
+			}
+		}()
+	}
+	wg.Wait()
+	return out, errors.Join(errs...)
+}
+
+// MapSeeded is Map for seeded universes: job i additionally receives
+// the SplitMix64-derived child seed sim.ChildSeed(root, i), giving
+// every universe an independent, collision-free seed that does not
+// depend on worker count or completion order.
+func MapSeeded[T any](workers int, root uint64, n int, label func(int) string, fn func(i int, seed uint64) (T, error)) ([]T, error) {
+	return Map(workers, n, label, func(i int) (T, error) {
+		return fn(i, sim.ChildSeed(root, uint64(i)))
+	})
+}
+
+// runJob executes one job with panic capture.
+func runJob[T any](i int, label func(int) string, fn func(int) (T, error)) (out T, err error) {
+	lbl := ""
+	if label != nil {
+		lbl = label(i)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			out = zero
+			err = &JobError{Index: i, Label: lbl,
+				Err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
+		}
+	}()
+	out, err = fn(i)
+	if err != nil {
+		err = &JobError{Index: i, Label: lbl, Err: err}
+	}
+	return out, err
+}

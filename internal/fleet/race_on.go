@@ -1,0 +1,10 @@
+//go:build race
+
+package fleet
+
+// RaceEnabled reports whether this binary was built with the race
+// detector. Heavy sweep tests consult it to shrink their scale: under
+// the detector the point is catching races between concurrent
+// universes, not statistical fidelity, and the ~5-15× instrumentation
+// overhead would otherwise push full-scale sweeps past test timeouts.
+const RaceEnabled = true

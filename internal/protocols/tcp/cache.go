@@ -1,6 +1,8 @@
 package tcp
 
 import (
+	"sync"
+
 	"halfback/internal/netem"
 	"halfback/internal/sim"
 )
@@ -20,12 +22,19 @@ type CacheEntry struct {
 // The cache optionally ages entries: the paper notes caching schemes
 // "draw back to Slow-Start when the variables are aged" — flows that
 // find only a stale entry start cold.
+//
+// The cache is owned by one scheme.Instance and therefore by one
+// simulation universe, but the parallel sweep engine (internal/fleet)
+// runs many universes concurrently, so the cache is also mutex-guarded:
+// cross-universe sharing by accident stays a correctness bug, not a
+// data race.
 type PathCache struct {
 	// TTL expires entries; zero disables ageing (the paper's
 	// evaluation scenario, which it calls "an unrealistic advantage":
 	// an unchanging topology keeps the cache permanently fresh).
 	TTL sim.Duration
 
+	mu      sync.Mutex
 	entries map[pathKey]CacheEntry
 	hits    int64
 	misses  int64
@@ -43,6 +52,8 @@ func NewPathCache(ttl sim.Duration) *PathCache {
 
 // Lookup returns the cached state for a path if present and fresh.
 func (pc *PathCache) Lookup(src, dst netem.NodeID) (CacheEntry, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
 	e, ok := pc.entries[pathKey{src, dst}]
 	if !ok {
 		pc.misses++
@@ -56,6 +67,8 @@ func (pc *PathCache) Lookup(src, dst netem.NodeID) (CacheEntry, bool) {
 // goes through Reno which has no clock at lookup time, so TTL filtering
 // happens at Store-read via StoreTime comparison in tests. Kept internal.
 func (pc *PathCache) lookupAt(src, dst netem.NodeID, now sim.Time) (CacheEntry, bool) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
 	e, ok := pc.entries[pathKey{src, dst}]
 	if !ok || (pc.TTL > 0 && now.Sub(e.StoredAt) > pc.TTL) {
 		pc.misses++
@@ -67,11 +80,21 @@ func (pc *PathCache) lookupAt(src, dst netem.NodeID, now sim.Time) (CacheEntry, 
 
 // Store records a completed flow's final state.
 func (pc *PathCache) Store(src, dst netem.NodeID, e CacheEntry) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
 	pc.entries[pathKey{src, dst}] = e
 }
 
 // Stats reports cache effectiveness for experiment logs.
-func (pc *PathCache) Stats() (hits, misses int64) { return pc.hits, pc.misses }
+func (pc *PathCache) Stats() (hits, misses int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.hits, pc.misses
+}
 
 // Len returns the number of cached paths.
-func (pc *PathCache) Len() int { return len(pc.entries) }
+func (pc *PathCache) Len() int {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return len(pc.entries)
+}

@@ -1,0 +1,17 @@
+package sim
+
+// ChildSeed derives the index-th child seed from a parent seed with one
+// SplitMix64 step. For a fixed parent the map index → seed is injective
+// (the pre-mix state parent + (index+1)·γ is distinct per index and the
+// finalizer is a bijection), so a sweep can hand every universe its own
+// seed with no risk of two universes colliding, and the derivation is a
+// pure function — stable across runs, worker counts and job orderings.
+//
+// A zero result is allowed: NewRand remaps seed 0 itself, and remapping
+// here would break injectivity.
+func ChildSeed(parent, index uint64) uint64 {
+	z := parent + (index+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}

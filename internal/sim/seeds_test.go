@@ -1,0 +1,109 @@
+package sim
+
+import "testing"
+
+// ChildSeed must hand every universe in a sweep its own seed: for a
+// fixed parent the index → seed map is injective, so 10k universes get
+// 10k distinct seeds.
+func TestChildSeedCollisionFree(t *testing.T) {
+	for _, parent := range []uint64{0, 1, 42, 0xdeadbeef, ^uint64(0)} {
+		seen := make(map[uint64]uint64, 10000)
+		for i := uint64(0); i < 10000; i++ {
+			s := ChildSeed(parent, i)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("parent %#x: ChildSeed(%d) == ChildSeed(%d) == %#x", parent, i, prev, s)
+			}
+			seen[s] = i
+		}
+	}
+}
+
+// The derivation is part of the reproducibility contract: a seed file
+// or a logged sweep seed must replay identically forever, so the exact
+// values are pinned here. If this test fails, the change silently
+// invalidates every recorded run.
+func TestChildSeedStable(t *testing.T) {
+	cases := []struct{ parent, index, want uint64 }{
+		{1, 0, 0x910a2dec89025cc1},
+		{1, 1, 0xbeeb8da1658eec67},
+		{42, 7, 0xccf635ee9e9e2fa4},
+	}
+	for _, c := range cases {
+		if got := ChildSeed(c.parent, c.index); got != c.want {
+			t.Errorf("ChildSeed(%d, %d) = %#x, want %#x", c.parent, c.index, got, c.want)
+		}
+	}
+}
+
+// Child seeds from nearby parents and indices must not collapse onto a
+// few values — a weak mixer here would correlate "independent"
+// universes. A full-blown statistical test is overkill; distinctness
+// across a dense grid catches the failure modes that matter.
+func TestChildSeedMixesAcrossParents(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for p := uint64(0); p < 64; p++ {
+		for i := uint64(0); i < 64; i++ {
+			seen[ChildSeed(p, i)] = true
+		}
+	}
+	if len(seen) != 64*64 {
+		t.Fatalf("64×64 (parent, index) grid produced only %d distinct seeds", len(seen))
+	}
+}
+
+func drawN(r *Rand, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = r.Uint64()
+	}
+	return out
+}
+
+// Once streams are forked, consuming them in any interleaving must not
+// change what each stream yields — that is the property the parallel
+// sweep engine relies on when universes draw concurrently.
+func TestForkNamedStreamsNoCrossTalk(t *testing.T) {
+	// Reference: fork both streams, drain a fully, then b.
+	p1 := NewRand(7)
+	a1, b1 := p1.ForkNamed("arrivals"), p1.ForkNamed("jitter")
+	wantA, wantB := drawN(a1, 256), drawN(b1, 256)
+
+	// Same forks, draws interleaved the other way around.
+	p2 := NewRand(7)
+	a2, b2 := p2.ForkNamed("arrivals"), p2.ForkNamed("jitter")
+	var gotA, gotB []uint64
+	for i := 0; i < 256; i++ {
+		gotB = append(gotB, b2.Uint64())
+		gotA = append(gotA, a2.Uint64())
+	}
+	for i := range wantA {
+		if gotA[i] != wantA[i] || gotB[i] != wantB[i] {
+			t.Fatalf("draw %d: interleaving changed a forked stream", i)
+		}
+	}
+}
+
+// Streams forked under different labels must be decorrelated, and the
+// same label must reproduce the same stream from an equal-state parent
+// — together these let data-dependent fork order inside a universe stay
+// reproducible.
+func TestForkNamedLabelBinding(t *testing.T) {
+	s1 := drawN(NewRand(11).ForkNamed("arrivals"), 64)
+	s2 := drawN(NewRand(11).ForkNamed("arrivals"), 64)
+	s3 := drawN(NewRand(11).ForkNamed("jitter"), 64)
+	same, diff := 0, 0
+	for i := range s1 {
+		if s1[i] == s2[i] {
+			same++
+		}
+		if s1[i] != s3[i] {
+			diff++
+		}
+	}
+	if same != 64 {
+		t.Fatalf("same label from equal-state parents reproduced only %d/64 draws", same)
+	}
+	if diff != 64 {
+		t.Fatalf("different labels collided on %d/64 draws", 64-diff)
+	}
+}
