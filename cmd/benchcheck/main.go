@@ -1,0 +1,107 @@
+// Command benchcheck compares a freshly measured benchmark JSON (from
+// `halfback-sim -benchjson`) against the committed baseline and fails
+// when allocations regress.
+//
+//	benchcheck -baseline bench/BASELINE.json -current BENCH_2026-08-05.json
+//
+// Allocation counts are near-deterministic for a pinned seed/scale, so
+// they make a reliable CI gate; wall time is reported for trend-watching
+// but never fails the build (CI machines are too noisy for that).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// exhibit mirrors the per-exhibit record in the benchmark JSON.
+type exhibit struct {
+	ID           string  `json:"id"`
+	Title        string  `json:"title"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+type benchFile struct {
+	Date     string    `json:"date"`
+	Seed     uint64    `json:"seed"`
+	Scale    float64   `json:"scale"`
+	Exhibits []exhibit `json:"exhibits"`
+}
+
+func main() {
+	var (
+		basePath = flag.String("baseline", "bench/BASELINE.json", "committed baseline JSON")
+		curPath  = flag.String("current", "", "freshly measured benchmark JSON")
+		slack    = flag.Float64("slack", 0.15, "allowed fractional allocs/op growth before failing")
+		floor    = flag.Uint64("floor", 2048, "absolute allocs/op growth always tolerated (runtime noise)")
+	)
+	flag.Parse()
+	if *curPath == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -current is required")
+		os.Exit(2)
+	}
+
+	base, err := load(*basePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := load(*curPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: %v\n", err)
+		os.Exit(2)
+	}
+	if base.Seed != cur.Seed || base.Scale != cur.Scale {
+		fmt.Fprintf(os.Stderr, "benchcheck: baseline (seed=%d scale=%g) and current (seed=%d scale=%g) were measured with different parameters\n",
+			base.Seed, base.Scale, cur.Seed, cur.Scale)
+		os.Exit(2)
+	}
+
+	byID := map[string]exhibit{}
+	for _, e := range cur.Exhibits {
+		byID[e.ID] = e
+	}
+
+	failed := false
+	for _, b := range base.Exhibits {
+		c, ok := byID[b.ID]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL exhibit %s: present in baseline but not measured\n", b.ID)
+			failed = true
+			continue
+		}
+		limit := b.AllocsPerOp + uint64(float64(b.AllocsPerOp)**slack) + *floor
+		status := "ok  "
+		if c.AllocsPerOp > limit {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s exhibit %-7s allocs/op %10d -> %10d (limit %10d)  ns/op %12d -> %12d\n",
+			status, b.ID, b.AllocsPerOp, c.AllocsPerOp, limit, b.NsPerOp, c.NsPerOp)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchcheck: allocation regression — if intentional, regenerate bench/BASELINE.json with `go run ./cmd/halfback-sim -benchjson` at the baseline's pinned seed/scale and commit it")
+		os.Exit(1)
+	}
+	fmt.Println("benchcheck: all exhibits within allocation budget")
+}
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(f.Exhibits) == 0 {
+		return f, fmt.Errorf("%s: no exhibits", path)
+	}
+	return f, nil
+}

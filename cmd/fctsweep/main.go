@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -38,8 +39,41 @@ func main() {
 		horizon    = flag.Duration("horizon", 60*time.Second, "virtual seconds of arrivals per cell")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		workers    = flag.Int("workers", runtime.NumCPU(), "cells to simulate concurrently; 1 forces the serial path")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fctsweep: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fctsweep: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer func() {
+		if *memprofile == "" {
+			return
+		}
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fctsweep: -memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fmt.Fprintf(os.Stderr, "fctsweep: write mem profile: %v\n", err)
+		}
+	}()
 
 	if *workers < 1 {
 		fmt.Fprintln(os.Stderr, "fctsweep: -workers must be ≥ 1")

@@ -7,40 +7,77 @@
 //	halfback-sim -list                  # show available exhibits
 //	halfback-sim -fig 6 -csv            # CSV instead of aligned text
 //	halfback-sim -fig 10 -workers 1     # force the serial sweep path
+//	halfback-sim -benchjson -scale 0.05 # per-exhibit perf JSON (BENCH_<date>.json)
+//	halfback-sim -fig 6 -cpuprofile cpu.out -memprofile mem.out
 //
 // Output goes to stdout; each exhibit renders one or more tables whose
 // rows are the data series of the corresponding figure. Sweeps fan
 // their simulation universes out across -workers goroutines (default:
 // one per CPU); the output is bit-identical for every worker count.
+//
+// -benchjson runs each selected exhibit once and records wall ns/op,
+// allocs/op, bytes/op and scheduler events/sec into a JSON file,
+// seeding the repository's performance trajectory (CI compares
+// allocs/op against bench/BASELINE.json and fails on regression).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"halfback/internal/experiment"
+	"halfback/internal/sim"
 )
+
+// benchExhibit is one exhibit's measurement in the benchmark JSON.
+type benchExhibit struct {
+	ID           string  `json:"id"`
+	Title        string  `json:"title"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	AllocsPerOp  uint64  `json:"allocs_per_op"`
+	BytesPerOp   uint64  `json:"bytes_per_op"`
+	Events       uint64  `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+}
+
+// benchFile is the top-level benchmark JSON document.
+type benchFile struct {
+	Date       string         `json:"date"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Seed       uint64         `json:"seed"`
+	Scale      float64        `json:"scale"`
+	Workers    int            `json:"workers"`
+	Exhibits   []benchExhibit `json:"exhibits"`
+}
 
 func main() {
 	var (
-		fig     = flag.String("fig", "", "exhibit to regenerate: 1,2,5..17,table1 or 'all'")
-		seed    = flag.Uint64("seed", 1, "simulation seed")
-		scale   = flag.Float64("scale", 1.0, "scale factor in (0,1]: trial counts and horizons shrink proportionally")
-		workers = flag.Int("workers", runtime.NumCPU(), "simulation universes to run concurrently; 1 forces the serial path")
-		list    = flag.Bool("list", false, "list available exhibits")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		fig        = flag.String("fig", "", "exhibit to regenerate: 1,2,5..17,table1 or 'all'")
+		seed       = flag.Uint64("seed", 1, "simulation seed")
+		scale      = flag.Float64("scale", 1.0, "scale factor in (0,1]: trial counts and horizons shrink proportionally")
+		workers    = flag.Int("workers", runtime.NumCPU(), "simulation universes to run concurrently; 1 forces the serial path")
+		list       = flag.Bool("list", false, "list available exhibits")
+		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		benchjson  = flag.Bool("benchjson", false, "benchmark the selected exhibits (default: all) and write per-exhibit ns/op, allocs/op and events/sec as JSON")
+		benchout   = flag.String("benchout", "", "benchmark JSON output path (default BENCH_<date>.json)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
 	flag.Parse()
 
-	if *list || *fig == "" {
+	if *list || (*fig == "" && !*benchjson) {
 		fmt.Println("available exhibits:")
 		for _, e := range experiment.Registry() {
 			fmt.Printf("  %-7s %s\n", e.ID, e.Title)
 		}
-		if *fig == "" && !*list {
+		if *fig == "" && !*list && !*benchjson {
 			os.Exit(2)
 		}
 		return
@@ -56,7 +93,7 @@ func main() {
 	sc := experiment.Scale{Trials: *scale, Horizon: *scale, Workers: *workers}
 
 	var entries []experiment.Entry
-	if *fig == "all" {
+	if *fig == "all" || (*fig == "" && *benchjson) {
 		entries = experiment.Registry()
 	} else {
 		e, err := experiment.Lookup(*fig)
@@ -65,6 +102,31 @@ func main() {
 			os.Exit(2)
 		}
 		entries = []experiment.Entry{e}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "halfback-sim: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "halfback-sim: start cpu profile: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memprofile)
+
+	if *benchjson {
+		if err := runBench(entries, *seed, sc, *scale, *benchout); err != nil {
+			fmt.Fprintf(os.Stderr, "halfback-sim: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	failed := false
@@ -92,6 +154,78 @@ func main() {
 	}
 	if failed {
 		os.Exit(1)
+	}
+}
+
+// runBench measures each exhibit once — wall time, allocations
+// (process-wide MemStats deltas around the run) and scheduler events —
+// and writes the benchmark JSON.
+func runBench(entries []experiment.Entry, seed uint64, sc experiment.Scale, scale float64, outPath string) error {
+	doc := benchFile{
+		Date:       time.Now().Format("2006-01-02"),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Seed:       seed,
+		Scale:      scale,
+		Workers:    sc.Workers,
+	}
+	if outPath == "" {
+		outPath = "BENCH_" + doc.Date + ".json"
+	}
+	var m0, m1 runtime.MemStats
+	for _, e := range entries {
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		ev0 := sim.ProcessedTotal()
+		start := time.Now()
+		if _, err := runExhibit(e, seed, sc); err != nil {
+			return fmt.Errorf("exhibit %s: %w", e.ID, err)
+		}
+		elapsed := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		events := sim.ProcessedTotal() - ev0
+		bx := benchExhibit{
+			ID:          e.ID,
+			Title:       e.Title,
+			NsPerOp:     elapsed.Nanoseconds(),
+			AllocsPerOp: m1.Mallocs - m0.Mallocs,
+			BytesPerOp:  m1.TotalAlloc - m0.TotalAlloc,
+			Events:      events,
+		}
+		if s := elapsed.Seconds(); s > 0 {
+			bx.EventsPerSec = float64(events) / s
+		}
+		doc.Exhibits = append(doc.Exhibits, bx)
+		fmt.Fprintf(os.Stderr, "bench %-7s %12d ns/op %10d allocs/op %12.0f events/sec\n",
+			e.ID, bx.NsPerOp, bx.AllocsPerOp, bx.EventsPerSec)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d exhibits)\n", outPath, len(doc.Exhibits))
+	return nil
+}
+
+// writeMemProfile dumps an allocation profile if -memprofile was given.
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "halfback-sim: -memprofile: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "halfback-sim: write mem profile: %v\n", err)
 	}
 }
 

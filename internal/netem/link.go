@@ -24,7 +24,6 @@ type LinkStats struct {
 // rate, propagation delay, and an ingress drop-tail queue bounded in
 // bytes. A bidirectional connection is two Links.
 type Link struct {
-	Name      string
 	From, To  NodeID
 	RateBps   int64        // line rate, bits per second
 	Delay     sim.Duration // one-way propagation delay
@@ -52,19 +51,29 @@ type Link struct {
 	Stats LinkStats
 
 	// OnDrop, if set, is invoked for every packet lost on this link
-	// (queue overflow or random loss), after counters update.
+	// (queue overflow, AQM early drop or random loss), after counters
+	// update and before the packet is recycled; the hook must not
+	// retain the packet.
 	OnDrop func(pkt *Packet, now sim.Time)
 
 	net        *Network
+	fromName   string
+	toName     string
 	queue      []queuedPacket
 	queuedByte int
 	busy       bool
-	rng        *sim.Rand
+	// txPkt is the packet currently being serialized; the transmit-done
+	// event carries only the link and picks the packet up from here.
+	txPkt *Packet
+	rng   *sim.Rand
 
 	codel    codelState
 	red      redState
 	aqmReady bool
 }
+
+// Name renders the link's human-readable "from->to" label on demand.
+func (l *Link) Name() string { return l.fromName + "->" + l.toName }
 
 // queuedPacket pairs a packet with its enqueue instant so disciplines
 // can compute sojourn times.
@@ -110,25 +119,19 @@ func (l *Link) QueueDelay() sim.Duration { return l.TxTime(l.queuedByte) }
 func (l *Link) Send(pkt *Packet, now sim.Time) bool {
 	if l.LossProb > 0 && l.rng.Bool(l.LossProb) {
 		l.Stats.RandomLosses++
-		if l.OnDrop != nil {
-			l.OnDrop(pkt, now)
-		}
+		l.net.dropPacket(l, pkt, now)
 		return false
 	}
 	if l.BufferCap > 0 && l.queuedByte+pkt.Size > l.BufferCap {
 		l.Stats.Dropped++
-		if l.OnDrop != nil {
-			l.OnDrop(pkt, now)
-		}
+		l.net.dropPacket(l, pkt, now)
 		return false
 	}
 	if l.Discipline == RED {
 		l.initAQM()
 		if l.red.onEnqueue(l.queuedByte, l.rng) {
 			l.Stats.AQMDrops++
-			if l.OnDrop != nil {
-				l.OnDrop(pkt, now)
-			}
+			l.net.dropPacket(l, pkt, now)
 			return false
 		}
 	}
@@ -161,9 +164,7 @@ func (l *Link) startTransmit(now sim.Time) {
 			l.initAQM()
 			if l.codel.onDequeue(now.Sub(head.at), now) {
 				l.Stats.AQMDrops++
-				if l.OnDrop != nil {
-					l.OnDrop(head.pkt, now)
-				}
+				l.net.dropPacket(l, head.pkt, now)
 				continue // try the next head
 			}
 		}
@@ -171,33 +172,50 @@ func (l *Link) startTransmit(now sim.Time) {
 	}
 
 	l.busy = true
+	l.txPkt = pkt
 	pkt.SentAt = now
 	tx := l.TxTime(pkt.Size)
 	l.Stats.BusyTime += tx
+	l.net.sched.AfterFunc(tx, linkTxDone, l)
+}
 
-	l.net.sched.After(tx, func(t sim.Time) {
-		l.Stats.Transmitted++
-		l.Stats.BytesTx += int64(pkt.Size)
-		// Propagation: packet arrives Delay later; the line frees
-		// immediately. Reordering injection adds an occasional extra
-		// propagation delay so later packets overtake this one.
-		prop := l.Delay
-		if l.ReorderProb > 0 && l.rng.Bool(l.ReorderProb) {
-			extra := l.ReorderDelay
-			if extra <= 0 {
-				extra = 2 * l.TxTime(SegmentSize)
-			}
-			prop += extra
+// linkTxDone fires when the head packet's last bit hits the wire: start
+// propagation (the packet itself carries the link for the arrival
+// event), free the line and, if the queue is non-empty, begin the next
+// serialization. Closure-free so the per-packet event loop does not
+// allocate.
+func linkTxDone(t sim.Time, arg any) {
+	l := arg.(*Link)
+	pkt := l.txPkt
+	l.txPkt = nil
+	l.Stats.Transmitted++
+	l.Stats.BytesTx += int64(pkt.Size)
+	// Propagation: packet arrives Delay later; the line frees
+	// immediately. Reordering injection adds an occasional extra
+	// propagation delay so later packets overtake this one.
+	prop := l.Delay
+	if l.ReorderProb > 0 && l.rng.Bool(l.ReorderProb) {
+		extra := l.ReorderDelay
+		if extra <= 0 {
+			extra = 2 * l.TxTime(SegmentSize)
 		}
-		l.net.sched.After(prop, func(arrival sim.Time) {
-			l.net.deliver(l.To, pkt, arrival)
-		})
-		if len(l.queue) > 0 {
-			l.startTransmit(t)
-		} else {
-			l.busy = false
-		}
-	})
+		prop += extra
+	}
+	pkt.link = l
+	l.net.sched.AfterFunc(prop, linkPropagated, pkt)
+	if len(l.queue) > 0 {
+		l.startTransmit(t)
+	} else {
+		l.busy = false
+	}
+}
+
+// linkPropagated fires when a packet reaches the far end of its wire.
+func linkPropagated(arrival sim.Time, arg any) {
+	pkt := arg.(*Packet)
+	l := pkt.link
+	pkt.link = nil
+	l.net.deliver(l.To, pkt, arrival)
 }
 
 // Utilization returns the fraction of the window [start,end] the link
@@ -211,5 +229,5 @@ func (l *Link) Utilization(elapsed sim.Duration) float64 {
 }
 
 func (l *Link) String() string {
-	return fmt.Sprintf("link(%s %d->%d %dbps %v buf=%dB)", l.Name, l.From, l.To, l.RateBps, l.Delay, l.BufferCap)
+	return fmt.Sprintf("link(%s %d->%d %dbps %v buf=%dB)", l.Name(), l.From, l.To, l.RateBps, l.Delay, l.BufferCap)
 }

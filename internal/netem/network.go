@@ -2,6 +2,7 @@ package netem
 
 import (
 	"fmt"
+	"strconv"
 
 	"halfback/internal/sim"
 )
@@ -28,6 +29,11 @@ type Network struct {
 	rng   *sim.Rand
 	nodes []*Node
 	links []*Link
+
+	// pktFree is the packet free list: packets released at final
+	// delivery or drop are zeroed and recycled by NewPacket, so the
+	// steady-state forwarding path allocates nothing.
+	pktFree []*Packet
 
 	// DroppedTotal counts packets lost anywhere in the network.
 	DroppedTotal int64
@@ -83,6 +89,46 @@ func NewNetwork(sched *sim.Scheduler, rng *sim.Rand) *Network {
 // Scheduler returns the event scheduler driving this network.
 func (n *Network) Scheduler() *sim.Scheduler { return n.sched }
 
+// NewPacket returns a zeroed packet from the network's free list,
+// growing the pool on first use. The caller fills it in and hands it to
+// Inject; ownership passes to the network, which recycles it at final
+// delivery or drop.
+func (n *Network) NewPacket() *Packet {
+	if k := len(n.pktFree); k > 0 {
+		p := n.pktFree[k-1]
+		n.pktFree[k-1] = nil
+		n.pktFree = n.pktFree[:k-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+// releasePacket recycles a pool packet after its final delivery or drop.
+// Packets built as literals (tests, external injectors) pass through
+// untouched — the pool only ever hands out packets it allocated itself.
+func (n *Network) releasePacket(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	*p = Packet{pooled: true}
+	n.pktFree = append(n.pktFree, p)
+}
+
+// dropPacket is the single accounting point for every packet lost
+// anywhere in the network: total count, optional trace (the TraceEvent
+// packet copy is only constructed when a tracer is installed), the
+// link's user hook, then release back to the pool.
+func (n *Network) dropPacket(l *Link, pkt *Packet, now sim.Time) {
+	n.DroppedTotal++
+	if n.Trace != nil {
+		n.Trace(TraceEvent{Kind: TraceDrop, At: now, Pkt: *pkt})
+	}
+	if l.OnDrop != nil {
+		l.OnDrop(pkt, now)
+	}
+	n.releasePacket(pkt)
+}
+
 // AddNode creates a node and returns it.
 func (n *Network) AddNode(name string) *Node {
 	node := &Node{ID: NodeID(len(n.nodes)), Name: name, routes: make(map[NodeID]*Link)}
@@ -104,13 +150,18 @@ type LinkConfig struct {
 	LossProb  float64 // independent random loss
 }
 
-// AddLink creates a unidirectional link from a to b.
+// AddLink creates a unidirectional link from a to b. Drop accounting and
+// tracing are wired through the network itself (see Network.dropPacket);
+// the link's exported OnDrop stays free for callers that want a tap. The
+// human-readable link name is rendered lazily by Link.Name/String rather
+// than formatted here, keeping topology construction off fmt.
 func (n *Network) AddLink(a, b *Node, cfg LinkConfig) *Link {
 	if cfg.RateBps <= 0 {
 		panic("netem: link rate must be positive")
 	}
 	l := &Link{
-		Name:      fmt.Sprintf("%s->%s", a.Name, b.Name),
+		fromName:  a.Name,
+		toName:    b.Name,
 		From:      a.ID,
 		To:        b.ID,
 		RateBps:   cfg.RateBps,
@@ -118,16 +169,22 @@ func (n *Network) AddLink(a, b *Node, cfg LinkConfig) *Link {
 		BufferCap: cfg.BufferCap,
 		LossProb:  cfg.LossProb,
 		net:       n,
-		rng:       n.rng.ForkNamed(fmt.Sprintf("loss:%d->%d", a.ID, b.ID)),
-	}
-	l.OnDrop = func(pkt *Packet, now sim.Time) {
-		n.DroppedTotal++
-		if n.Trace != nil {
-			n.Trace(TraceEvent{Kind: TraceDrop, At: now, Pkt: *pkt})
-		}
+		rng:       n.rng.ForkNamed(lossForkName(a.ID, b.ID)),
 	}
 	n.links = append(n.links, l)
 	return l
+}
+
+// lossForkName renders the per-link loss RNG stream name. The bytes must
+// match the historical fmt.Sprintf("loss:%d->%d", from, to) exactly —
+// the name seeds the fork — but are built without fmt's reflection.
+func lossForkName(from, to NodeID) string {
+	buf := make([]byte, 0, 24)
+	buf = append(buf, "loss:"...)
+	buf = strconv.AppendInt(buf, int64(from), 10)
+	buf = append(buf, '-', '>')
+	buf = strconv.AppendInt(buf, int64(to), 10)
+	return string(buf)
 }
 
 // Connect creates a symmetric pair of links between a and b with the same
@@ -196,7 +253,9 @@ func (n *Network) Inject(pkt *Packet, now sim.Time) bool {
 }
 
 // deliver hands a packet to its next node: the destination's handler if it
-// has arrived, otherwise the next hop's egress link.
+// has arrived, otherwise the next hop's egress link. Final delivery ends
+// the packet's life: once the Deliver hook returns, the packet goes back
+// to the pool (the layer contract forbids retaining it).
 func (n *Network) deliver(at NodeID, pkt *Packet, now sim.Time) {
 	node := n.nodes[int(at)]
 	if pkt.Dst == at {
@@ -207,6 +266,7 @@ func (n *Network) deliver(at NodeID, pkt *Packet, now sim.Time) {
 			n.Trace(TraceEvent{Kind: TraceRecv, At: now, Pkt: *pkt})
 		}
 		node.Deliver(pkt, now)
+		n.releasePacket(pkt)
 		return
 	}
 	link, ok := node.routes[pkt.Dst]

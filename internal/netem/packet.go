@@ -73,9 +73,13 @@ func (r SeqRange) Empty() bool { return r.Hi <= r.Lo }
 // for the window sizes involved (141 KB = 95 segments).
 const MaxSACKBlocks = 3
 
-// Packet is the unit the network moves. Transport code allocates packets;
-// the network layer never retains them after delivery, so transports may
-// pool them if profiling ever warrants it.
+// Packet is the unit the network moves. Transport code obtains packets
+// from Network.NewPacket (a per-Network free list) and hands them to
+// Inject; the network releases a packet back to the pool at its final
+// delivery or drop. No layer may retain a *Packet after its Deliver /
+// OnDrop / Trace hook returns — observers that need the contents keep a
+// copy (TraceEvent already does). Packets built with plain &Packet{}
+// literals still work: the pool ignores them on release.
 type Packet struct {
 	Kind PacketKind
 	Flow FlowID
@@ -134,6 +138,15 @@ type Packet struct {
 	// OWD is the one-way delay measured by the receiver, echoed back on
 	// PROBEACK packets for PCP's delay-trend test.
 	OWD sim.Duration
+
+	// link is the wire currently propagating this packet; the arrival
+	// event carries the packet itself, and reads the link from here
+	// rather than from a closure.
+	link *Link
+
+	// pooled marks packets that came from a Network free list and may
+	// be recycled on release. Literal &Packet{} packets stay unpooled.
+	pooled bool
 }
 
 // DataHeaderBytes is the per-packet header overhead assumed for payload

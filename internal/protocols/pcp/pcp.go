@@ -50,8 +50,8 @@ type Logic struct {
 
 	probeSent [ProbeTrainLen]sim.Time
 
-	probeTimer *sim.Timer
-	tickTimer  *sim.Timer
+	probeTimer sim.Timer
+	tickTimer  sim.Timer
 	ticking    bool
 
 	retxBudget int
@@ -119,11 +119,11 @@ func (l *Logic) startProbe(now sim.Time) {
 				return
 			}
 			l.probeSent[idx] = t
-			pkt := &netem.Packet{
-				Kind: netem.KindProbe, Flow: l.c.ID,
-				Src: l.c.SrcNode(), Dst: l.c.DstNode(),
-				Seq: seq, Size: ProbeSize, Echo: t, AckedSeq: -1,
-			}
+			pkt := l.c.Net().NewPacket()
+			pkt.Kind, pkt.Flow = netem.KindProbe, l.c.ID
+			pkt.Src, pkt.Dst = l.c.SrcNode(), l.c.DstNode()
+			pkt.Seq, pkt.Size = seq, ProbeSize
+			pkt.Echo, pkt.AckedSeq = t, -1
 			l.c.Net().Inject(pkt, t)
 		})
 	}
@@ -212,9 +212,7 @@ func (l *Logic) onProbeAck(pkt *netem.Packet, now sim.Time) {
 }
 
 func (l *Logic) probeVerdict(ok bool, now sim.Time) {
-	if l.probeTimer != nil {
-		l.probeTimer.Stop()
-	}
+	l.probeTimer.Stop()
 	l.probing = false
 	if ok || l.rounds >= MaxProbeRounds {
 		if !ok {
@@ -268,8 +266,12 @@ func (l *Logic) tick(now sim.Time) {
 		l.ticking = false
 		return
 	}
-	l.tickTimer = l.c.Sched().After(l.interval(), l.tick)
+	l.tickTimer = l.c.Sched().AfterFunc(l.interval(), pcpTick, l)
 }
+
+// pcpTick is the closure-free pacing tick: one fires per data packet for
+// the whole transfer, so it must not allocate.
+func pcpTick(now sim.Time, arg any) { arg.(*Logic).tick(now) }
 
 func (l *Logic) OnRTO(now sim.Time) {
 	l.retxBudget++
@@ -285,12 +287,8 @@ func (l *Logic) OnRTO(now sim.Time) {
 
 // OnDone stops the protocol's private timers.
 func (l *Logic) OnDone(now sim.Time) {
-	if l.probeTimer != nil {
-		l.probeTimer.Stop()
-	}
-	if l.tickTimer != nil {
-		l.tickTimer.Stop()
-	}
+	l.probeTimer.Stop()
+	l.tickTimer.Stop()
 }
 
 func maxf(a, b float64) float64 {

@@ -20,9 +20,10 @@ type Logic struct {
 	reno *tcp.Reno
 	c    *transport.Conn
 
-	pto      *sim.Timer
-	probes   int64
-	maxProbe int
+	pto        sim.Timer
+	ptoAttempt int
+	probes     int64
+	maxProbe   int
 }
 
 // New returns the Logic factory. icw is the initial congestion window
@@ -65,13 +66,13 @@ func (l *Logic) OnDone(now sim.Time) {
 }
 
 func (l *Logic) cancelPTO() {
-	if l.pto != nil {
-		l.pto.Stop()
-	}
+	l.pto.Stop()
 }
 
 // armPTO schedules the tail probe: PTO = max(2·SRTT, MinPTO). attempt
-// tracks consecutive probes without forward progress.
+// tracks consecutive probes without forward progress. The probe is
+// re-armed on every cumulative ACK, so the event is scheduled
+// closure-free with the attempt counter carried on the Logic.
 func (l *Logic) armPTO(now sim.Time, attempt int) {
 	l.cancelPTO()
 	if l.c.Finished() || attempt >= l.maxProbe {
@@ -85,9 +86,13 @@ func (l *Logic) armPTO(now sim.Time, attempt int) {
 	if pto < MinPTO {
 		pto = MinPTO
 	}
-	l.pto = l.c.Sched().After(pto, func(t sim.Time) {
-		l.fireProbe(t, attempt)
-	})
+	l.ptoAttempt = attempt
+	l.pto = l.c.Sched().AfterFunc(pto, firePTO, l)
+}
+
+func firePTO(t sim.Time, arg any) {
+	l := arg.(*Logic)
+	l.fireProbe(t, l.ptoAttempt)
 }
 
 func (l *Logic) fireProbe(now sim.Time, attempt int) {

@@ -1,101 +1,135 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
+	"sync/atomic"
 )
 
 // Event is a callback scheduled to run at a point in virtual time.
 type Event func(now Time)
 
+// EventFunc is the closure-free form of Event: a top-level (or otherwise
+// long-lived) function pointer plus an explicit argument. High-frequency
+// callers — link transmit/propagation completions, RTO timers, pacing
+// ticks — schedule with AtFunc/AfterFunc so the steady-state event loop
+// performs no heap allocation: the function value is shared and a
+// pointer-typed arg fits in an interface without boxing.
+type EventFunc func(now Time, arg any)
+
 // Timer is a handle to a scheduled event that can be cancelled or
-// rescheduled. The zero value is not usable; timers are created by
-// Scheduler.At / Scheduler.After.
+// inspected. Timers are plain values: the zero value is an inert handle
+// (Stop and Pending return false), and copying a Timer copies the
+// handle, not the event.
+//
+// Internally a Timer names a slot in the scheduler's event pool plus the
+// generation the slot had when the event was scheduled. Slots are
+// recycled after an event fires or a cancelled event is swept out of the
+// heap; the generation check makes a stale handle inert rather than able
+// to resurrect (or cancel) whatever event reused the slot.
 type Timer struct {
-	item *eventItem
+	s    *Scheduler
+	slot int32 // pool index + 1; 0 marks the zero-value handle
+	gen  uint32
 }
 
-// Stop cancels the timer. It is safe to call on an already-fired or
-// already-stopped timer, and reports whether the call prevented a pending
-// firing.
-func (t *Timer) Stop() bool {
-	if t == nil || t.item == nil || t.item.cancelled || t.item.fired {
+// item resolves the handle to its pool entry, or nil if the handle is
+// zero-valued or the slot has since been recycled.
+func (t Timer) item() *eventItem {
+	if t.s == nil || t.slot == 0 {
+		return nil
+	}
+	it := &t.s.items[t.slot-1]
+	if it.gen != t.gen {
+		return nil
+	}
+	return it
+}
+
+// Stop cancels the timer. It is safe to call on the zero value and on an
+// already-fired or already-stopped timer, and reports whether the call
+// prevented a pending firing.
+func (t Timer) Stop() bool {
+	it := t.item()
+	if it == nil || it.cancelled {
 		return false
 	}
-	t.item.cancelled = true
+	it.cancelled = true
+	t.s.live--
 	return true
 }
 
-// Pending reports whether the timer is scheduled and has neither fired nor
-// been stopped.
-func (t *Timer) Pending() bool {
-	return t != nil && t.item != nil && !t.item.cancelled && !t.item.fired
+// Pending reports whether the timer is scheduled and has neither fired
+// nor been stopped.
+func (t Timer) Pending() bool {
+	it := t.item()
+	return it != nil && !it.cancelled
 }
 
-// When returns the virtual time the timer is (or was) set to fire.
-func (t *Timer) When() Time {
-	if t == nil || t.item == nil {
-		return 0
+// When returns the virtual time a pending timer is set to fire, or zero
+// once it has fired, been stopped and swept, or never existed.
+func (t Timer) When() Time {
+	if it := t.item(); it != nil {
+		return it.at
 	}
-	return t.item.at
+	return 0
 }
 
+// eventItem is one pooled event. Items live in Scheduler.items and are
+// referenced by index, never by pointer, so the pool can grow without
+// invalidating references; gen counts recycles so stale Timer handles
+// cannot touch a reused slot.
 type eventItem struct {
 	at        Time
 	seq       uint64
-	fn        Event
+	fn        Event     // closure form (At/After)
+	efn       EventFunc // closure-free form (AtFunc/AfterFunc)
+	arg       any
+	gen       uint32
 	cancelled bool
-	fired     bool
-	index     int
 }
 
-type eventHeap []*eventItem
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-func (h *eventHeap) Push(x any) {
-	item := x.(*eventItem)
-	item.index = len(*h)
-	*h = append(*h, item)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	item := old[n-1]
-	old[n-1] = nil
-	item.index = -1
-	*h = old[:n-1]
-	return item
-}
-
-// Scheduler is the discrete-event loop. It is not safe for concurrent use;
-// a simulation runs on a single goroutine, which is both faster and — more
-// importantly — deterministic.
+// Scheduler is the discrete-event loop. It is not safe for concurrent
+// use; a simulation runs on a single goroutine, which is both faster and
+// — more importantly — deterministic.
+//
+// The queue is an inlined 4-ary min-heap of pool indices ordered by
+// (at, seq): seq is a monotone scheduling counter, so events at the same
+// instant run in scheduling order. Fired and swept items return to a
+// free list, making the steady-state loop allocation-free.
 type Scheduler struct {
-	now     Time
-	seq     uint64
-	queue   eventHeap
+	now  Time
+	seq  uint64
+	heap []int32 // 4-ary min-heap of indices into items
+	// items is the index-stable event pool; free holds recycled slots.
+	items []eventItem
+	free  []int32
+	// live counts scheduled events that are neither cancelled nor fired,
+	// so Pending is O(1).
+	live    int
 	stopped bool
 
 	// Processed counts events executed, for diagnostics and runaway
 	// detection in tests.
 	Processed uint64
+	// flushed is the portion of Processed already folded into the
+	// process-wide counter (see ProcessedTotal).
+	flushed uint64
 
 	// MaxEvents aborts the run (with a panic identifying the bug) when
 	// more than this many events execute; zero means no limit. Scenario
 	// runners set it as a backstop against accidental event storms.
 	MaxEvents uint64
 }
+
+// processedTotal accumulates events executed across every scheduler in
+// the process, so the benchmark harness can report events/sec for sweeps
+// that fan universes across workers. Schedulers fold their counts in at
+// the end of Run/RunUntil (one atomic add per run window, nothing on the
+// per-event path).
+var processedTotal atomic.Uint64
+
+// ProcessedTotal returns the process-wide count of executed events.
+func ProcessedTotal() uint64 { return processedTotal.Load() }
 
 // NewScheduler returns an empty scheduler positioned at time zero.
 func NewScheduler() *Scheduler {
@@ -105,58 +139,188 @@ func NewScheduler() *Scheduler {
 // Now returns the current virtual time.
 func (s *Scheduler) Now() Time { return s.now }
 
-// At schedules fn to run at absolute virtual time at. Scheduling in the
-// past is a bug in the caller and panics. Events at the same instant run
-// in scheduling order.
-func (s *Scheduler) At(at Time, fn Event) *Timer {
+// alloc takes a slot from the free list (or grows the pool) and stamps
+// it with the scheduling time and the next tiebreak sequence.
+func (s *Scheduler) alloc(at Time) int32 {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
+	var slot int32
+	if n := len(s.free); n > 0 {
+		slot = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		s.items = append(s.items, eventItem{})
+		slot = int32(len(s.items) - 1)
+	}
+	it := &s.items[slot]
+	it.at = at
+	it.seq = s.seq
+	s.seq++
+	it.cancelled = false
+	s.live++
+	return slot
+}
+
+// release recycles a slot: the generation bump makes outstanding Timer
+// handles inert, and clearing the callback fields drops any references
+// the event pinned.
+func (s *Scheduler) release(slot int32) {
+	it := &s.items[slot]
+	it.gen++
+	it.fn = nil
+	it.efn = nil
+	it.arg = nil
+	s.free = append(s.free, slot)
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the
+// past is a bug in the caller and panics. Events at the same instant run
+// in scheduling order.
+func (s *Scheduler) At(at Time, fn Event) Timer {
 	if fn == nil {
 		panic("sim: scheduling nil event")
 	}
-	item := &eventItem{at: at, seq: s.seq, fn: fn}
-	s.seq++
-	heap.Push(&s.queue, item)
-	return &Timer{item: item}
+	slot := s.alloc(at)
+	it := &s.items[slot]
+	it.fn = fn
+	s.push(slot)
+	return Timer{s: s, slot: slot + 1, gen: it.gen}
+}
+
+// AtFunc schedules fn(at, arg) without requiring a closure: pass a
+// top-level function and the state it needs. A pointer-typed arg does
+// not allocate. This is the hot-path scheduling API.
+func (s *Scheduler) AtFunc(at Time, fn EventFunc, arg any) Timer {
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	slot := s.alloc(at)
+	it := &s.items[slot]
+	it.efn = fn
+	it.arg = arg
+	s.push(slot)
+	return Timer{s: s, slot: slot + 1, gen: it.gen}
 }
 
 // After schedules fn to run d after the current time. Negative d is
 // clamped to zero.
-func (s *Scheduler) After(d Duration, fn Event) *Timer {
+func (s *Scheduler) After(d Duration, fn Event) Timer {
 	if d < 0 {
 		d = 0
 	}
 	return s.At(s.now.Add(d), fn)
 }
 
-// Pending returns the number of live (not cancelled, not fired) events in
-// the queue.
-func (s *Scheduler) Pending() int {
-	n := 0
-	for _, item := range s.queue {
-		if !item.cancelled && !item.fired {
-			n++
-		}
+// AfterFunc is the closure-free form of After; see AtFunc.
+func (s *Scheduler) AfterFunc(d Duration, fn EventFunc, arg any) Timer {
+	if d < 0 {
+		d = 0
 	}
-	return n
+	return s.AtFunc(s.now.Add(d), fn, arg)
+}
+
+// Pending returns the number of live (not cancelled, not fired) events
+// in the queue. It is O(1): a counter is maintained on schedule, cancel
+// and fire.
+func (s *Scheduler) Pending() int { return s.live }
+
+// less orders pool slots by (at, seq); seq is unique, so the order is
+// total and heap arity cannot affect determinism.
+func (s *Scheduler) less(a, b int32) bool {
+	ia, ib := &s.items[a], &s.items[b]
+	if ia.at != ib.at {
+		return ia.at < ib.at
+	}
+	return ia.seq < ib.seq
+}
+
+// push adds a slot to the heap, sifting up with a hole (the slot is
+// written once at its final position).
+func (s *Scheduler) push(slot int32) {
+	s.heap = append(s.heap, slot)
+	h := s.heap
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) >> 2
+		if !s.less(slot, h[p]) {
+			break
+		}
+		h[i] = h[p]
+		i = p
+	}
+	h[i] = slot
+}
+
+// pop removes and returns the minimum slot.
+func (s *Scheduler) pop() int32 {
+	h := s.heap
+	root := h[0]
+	n := len(h) - 1
+	last := h[n]
+	s.heap = h[:n]
+	if n > 0 {
+		s.siftDown(last)
+	}
+	return root
+}
+
+// siftDown places slot into the (otherwise valid) heap starting from the
+// root hole left by pop.
+func (s *Scheduler) siftDown(slot int32) {
+	h := s.heap
+	n := len(h)
+	i := 0
+	for {
+		c := i<<2 + 1
+		if c >= n {
+			break
+		}
+		best := c
+		end := c + 4
+		if end > n {
+			end = n
+		}
+		for j := c + 1; j < end; j++ {
+			if s.less(h[j], h[best]) {
+				best = j
+			}
+		}
+		if !s.less(h[best], slot) {
+			break
+		}
+		h[i] = h[best]
+		i = best
+	}
+	h[i] = slot
 }
 
 // Step executes the single next event, advancing the clock to it. It
-// reports false when the queue is empty (or only cancelled events remain).
+// reports false when the queue is empty (or only cancelled events
+// remain). The event's slot is recycled before its callback runs, so a
+// callback rescheduling at the same instant reuses the hot slot and the
+// event's own Timer handle is already inert inside the callback.
 func (s *Scheduler) Step() bool {
-	for len(s.queue) > 0 {
-		item := heap.Pop(&s.queue).(*eventItem)
-		if item.cancelled {
+	for len(s.heap) > 0 {
+		slot := s.pop()
+		it := &s.items[slot]
+		if it.cancelled {
+			s.release(slot)
 			continue
 		}
-		s.now = item.at
-		item.fired = true
+		s.now = it.at
+		s.live--
+		fn, efn, arg := it.fn, it.efn, it.arg
+		s.release(slot)
 		s.Processed++
 		if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
 			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v (event storm?)", s.MaxEvents, s.now))
 		}
-		item.fn(s.now)
+		if efn != nil {
+			efn(s.now, arg)
+		} else {
+			fn(s.now)
+		}
 		return true
 	}
 	return false
@@ -167,6 +331,7 @@ func (s *Scheduler) Run() {
 	s.stopped = false
 	for !s.stopped && s.Step() {
 	}
+	s.flushProcessed()
 }
 
 // RunUntil executes events with time ≤ deadline, leaving later events
@@ -184,18 +349,33 @@ func (s *Scheduler) RunUntil(deadline Time) {
 	if s.now < deadline {
 		s.now = deadline
 	}
+	s.flushProcessed()
 }
 
 // Stop makes the innermost Run/RunUntil return after the current event.
 func (s *Scheduler) Stop() { s.stopped = true }
 
+// peek returns the time of the next live event, sweeping cancelled items
+// back to the free list as it finds them at the root.
 func (s *Scheduler) peek() (Time, bool) {
-	for len(s.queue) > 0 {
-		if s.queue[0].cancelled {
-			heap.Pop(&s.queue)
+	for len(s.heap) > 0 {
+		slot := s.heap[0]
+		it := &s.items[slot]
+		if it.cancelled {
+			s.pop()
+			s.release(slot)
 			continue
 		}
-		return s.queue[0].at, true
+		return it.at, true
 	}
 	return 0, false
+}
+
+// flushProcessed folds this scheduler's event count into the
+// process-wide total.
+func (s *Scheduler) flushProcessed() {
+	if d := s.Processed - s.flushed; d > 0 {
+		processedTotal.Add(d)
+		s.flushed = s.Processed
+	}
 }

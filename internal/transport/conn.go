@@ -64,9 +64,9 @@ type Conn struct {
 	state      connState
 	fcwSegs    int32
 	sentAt     []sim.Time
-	rtoTimer   *sim.Timer
+	rtoTimer   sim.Timer
 	rtoBackoff int
-	synTimer   *sim.Timer
+	synTimer   sim.Timer
 	synBackoff int
 
 	onComplete func(*Conn)
@@ -151,24 +151,27 @@ func (c *Conn) Start(now sim.Time) {
 func (c *Conn) sendSYN(now sim.Time) {
 	c.sendControl(netem.KindSYN, c.src, c.dst, nil, now)
 	rto := c.RTT.RTO(c.synBackoff)
-	c.synTimer = c.sched.After(rto, func(t sim.Time) {
-		if c.state != stateSynSent {
-			return
-		}
-		c.Stats.HandshakeRetx++
-		c.Stats.LossSeen = true
-		c.synBackoff++
-		c.sendSYN(t)
-	})
+	c.synTimer = c.sched.AfterFunc(rto, connSynTimeout, c)
+}
+
+// connSynTimeout retransmits a lost SYN with backoff.
+func connSynTimeout(t sim.Time, arg any) {
+	c := arg.(*Conn)
+	if c.state != stateSynSent {
+		return
+	}
+	c.Stats.HandshakeRetx++
+	c.Stats.LossSeen = true
+	c.synBackoff++
+	c.sendSYN(t)
 }
 
 // sendControl emits a SYN/SYNACK-style packet from one stack to another.
 func (c *Conn) sendControl(kind netem.PacketKind, from, to *Stack, mutate func(*netem.Packet), now sim.Time) {
-	pkt := &netem.Packet{
-		Kind: kind, Flow: c.ID,
-		Src: from.Node.ID, Dst: to.Node.ID,
-		Size: netem.ControlSize, Echo: now, AckedSeq: -1,
-	}
+	pkt := c.net.NewPacket()
+	pkt.Kind, pkt.Flow = kind, c.ID
+	pkt.Src, pkt.Dst = from.Node.ID, to.Node.ID
+	pkt.Size, pkt.Echo, pkt.AckedSeq = netem.ControlSize, now, -1
 	if mutate != nil {
 		mutate(pkt)
 	}
@@ -189,9 +192,7 @@ func (c *Conn) handleSenderPacket(pkt *netem.Packet, now sim.Time) {
 		if c.Stats.HandshakeRetx == 0 {
 			c.RTT.Sample(c.Stats.HandshakeRTT)
 		}
-		if c.synTimer != nil {
-			c.synTimer.Stop()
-		}
+		c.synTimer.Stop()
 		if pkt.Window > 0 {
 			c.fcwSegs = int32(pkt.Window / netem.SegmentPayload)
 			if c.fcwSegs < 1 {
@@ -259,13 +260,12 @@ func (c *Conn) SendSegment(seq int32, retransmit, proactive bool, now sim.Time) 
 	if seq < 0 || seq >= c.NumSegs {
 		panic(fmt.Sprintf("transport: segment %d out of range [0,%d)", seq, c.NumSegs))
 	}
-	pkt := &netem.Packet{
-		Kind: netem.KindData, Flow: c.ID,
-		Src: c.src.Node.ID, Dst: c.dst.Node.ID,
-		Seq: seq, Size: c.SegmentSize(seq),
-		Retransmit: retransmit, Proactive: proactive,
-		Echo: now, AckedSeq: -1,
-	}
+	pkt := c.net.NewPacket()
+	pkt.Kind, pkt.Flow = netem.KindData, c.ID
+	pkt.Src, pkt.Dst = c.src.Node.ID, c.dst.Node.ID
+	pkt.Seq, pkt.Size = seq, c.SegmentSize(seq)
+	pkt.Retransmit, pkt.Proactive = retransmit, proactive
+	pkt.Echo, pkt.AckedSeq = now, -1
 	if !retransmit && c.sentAt[seq] == 0 {
 		c.sentAt[seq] = now
 		if now == 0 {
@@ -283,7 +283,7 @@ func (c *Conn) SendSegment(seq int32, retransmit, proactive bool, now sim.Time) 
 		}
 	}
 	c.net.Inject(pkt, now)
-	if c.rtoTimer == nil || !c.rtoTimer.Pending() {
+	if !c.rtoTimer.Pending() {
 		c.restartRTO(now)
 	}
 }
@@ -313,21 +313,22 @@ func (c *Conn) WindowLimit() int32 {
 func (c *Conn) FcwSegs() int32 { return c.fcwSegs }
 
 // restartRTO (re)arms the retransmission timer with the current backoff.
+// The timer is scheduled closure-free: arming happens on every data send
+// and every cumulative ACK, which would otherwise allocate a bound
+// method value per call.
 func (c *Conn) restartRTO(now sim.Time) {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
+	c.rtoTimer.Stop()
 	rto := c.RTT.RTO(c.rtoBackoff)
-	c.rtoTimer = c.sched.After(rto, c.fireRTO)
+	c.rtoTimer = c.sched.AfterFunc(rto, connFireRTO, c)
 }
 
 // StopRTO cancels the retransmission timer; protocols that know nothing
 // is outstanding (e.g. PCP between probe rounds) may use it.
 func (c *Conn) StopRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
+	c.rtoTimer.Stop()
 }
+
+func connFireRTO(now sim.Time, arg any) { arg.(*Conn).fireRTO(now) }
 
 func (c *Conn) fireRTO(now sim.Time) {
 	if c.state != stateEstablished || c.Score.AllAcked() {
@@ -352,12 +353,8 @@ func (c *Conn) finish(now sim.Time) {
 	}
 	c.state = stateDone
 	c.Stats.SenderDone = now
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
-	if c.synTimer != nil {
-		c.synTimer.Stop()
-	}
+	c.rtoTimer.Stop()
+	c.synTimer.Stop()
 	c.src.unregister(c.ID)
 	c.dst.unregister(c.ID)
 	if hook, ok := c.logic.(DoneHook); ok {
@@ -375,12 +372,8 @@ func (c *Conn) Abort() {
 	}
 	prev := c.state
 	c.state = stateDone
-	if c.rtoTimer != nil {
-		c.rtoTimer.Stop()
-	}
-	if c.synTimer != nil {
-		c.synTimer.Stop()
-	}
+	c.rtoTimer.Stop()
+	c.synTimer.Stop()
 	if prev == stateSynSent || prev == stateEstablished {
 		c.src.unregister(c.ID)
 		c.dst.unregister(c.ID)
@@ -418,17 +411,22 @@ func (c *Conn) DstNode() netem.NodeID { return c.dst.Node.ID }
 // transmissions (JumpStart, Halfback) and proactive retransmissions
 // (Halfback-Forward ablation).
 type Pacer struct {
-	conn    *Conn
-	timer   *sim.Timer
-	stopped bool
+	conn     *Conn
+	timer    sim.Timer
+	stopped  bool
+	next, hi int32
+	interval sim.Duration
+	done     func(now sim.Time)
 }
 
 // PaceRange paces first transmissions of segments [lo,hi) evenly across
 // total, starting with the first segment immediately. done (optional)
 // runs after the last segment is sent. It returns a Pacer whose Stop
-// cancels the remaining schedule.
+// cancels the remaining schedule. Ticks are scheduled closure-free: the
+// Pacer itself carries the cursor, so a paced run costs one allocation
+// (the Pacer), not one per segment.
 func (c *Conn) PaceRange(lo, hi int32, total sim.Duration, done func(now sim.Time)) *Pacer {
-	p := &Pacer{conn: c}
+	p := &Pacer{conn: c, next: lo, hi: hi, done: done}
 	n := hi - lo
 	if n <= 0 {
 		if done != nil {
@@ -436,32 +434,32 @@ func (c *Conn) PaceRange(lo, hi int32, total sim.Duration, done func(now sim.Tim
 		}
 		return p
 	}
-	var interval sim.Duration
 	if n > 1 {
-		interval = total / sim.Duration(n)
+		p.interval = total / sim.Duration(n)
 	}
-	var step func(seq int32) func(sim.Time)
-	step = func(seq int32) func(sim.Time) {
-		return func(now sim.Time) {
-			if p.stopped || c.Finished() {
-				return
-			}
-			c.SendSegment(seq, false, false, now)
-			if seq+1 < hi {
-				p.timer = c.sched.After(interval, step(seq+1))
-			} else if done != nil {
-				done(now)
-			}
-		}
-	}
-	step(lo)(c.sched.Now())
+	pacerTick(c.sched.Now(), p)
 	return p
+}
+
+// pacerTick sends the cursor segment and schedules the next tick.
+func pacerTick(now sim.Time, arg any) {
+	p := arg.(*Pacer)
+	c := p.conn
+	if p.stopped || c.Finished() {
+		return
+	}
+	seq := p.next
+	p.next++
+	c.SendSegment(seq, false, false, now)
+	if p.next < p.hi {
+		p.timer = c.sched.AfterFunc(p.interval, pacerTick, p)
+	} else if p.done != nil {
+		p.done(now)
+	}
 }
 
 // Stop cancels any remaining paced transmissions.
 func (p *Pacer) Stop() {
 	p.stopped = true
-	if p.timer != nil {
-		p.timer.Stop()
-	}
+	p.timer.Stop()
 }

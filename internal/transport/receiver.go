@@ -19,9 +19,11 @@ type receiver struct {
 	holeSeen bool
 
 	// Delayed-ACK state (Options.DelayedAcks): unacked counts data
-	// packets received since the last ACK; ackTimer bounds the delay.
-	unacked  int
-	ackTimer *sim.Timer
+	// packets received since the last ACK; ackTimer bounds the delay
+	// and ackTrigger remembers which segment armed it.
+	unacked    int
+	ackTimer   sim.Timer
+	ackTrigger int32
 }
 
 func newReceiver(c *Conn) *receiver {
@@ -80,47 +82,48 @@ func (r *receiver) handlePacket(pkt *netem.Packet, now sim.Time) {
 			r.flushAck(seq, now)
 			break
 		}
-		if r.ackTimer == nil || !r.ackTimer.Pending() {
-			trigger := seq
-			r.ackTimer = c.sched.After(c.Opts.DelayedAckTimeout, func(t sim.Time) {
-				if r.unacked > 0 {
-					r.flushAck(trigger, t)
-				}
-			})
+		if !r.ackTimer.Pending() {
+			r.ackTrigger = seq
+			r.ackTimer = c.sched.AfterFunc(c.Opts.DelayedAckTimeout, recvAckTimeout, r)
 		}
 
 	case netem.KindProbe:
 		// Echo probe timing for PCP: one-way delay plus the probe's
 		// index so the sender can reconstruct dispersion.
-		ack := &netem.Packet{
-			Kind: netem.KindProbeAck, Flow: c.ID,
-			Src: c.dst.Node.ID, Dst: c.src.Node.ID,
-			Size: netem.AckSize, Seq: pkt.Seq,
-			Echo: pkt.Echo, OWD: now.Sub(pkt.Echo),
-		}
+		ack := c.net.NewPacket()
+		ack.Kind, ack.Flow = netem.KindProbeAck, c.ID
+		ack.Src, ack.Dst = c.dst.Node.ID, c.src.Node.ID
+		ack.Size, ack.Seq = netem.AckSize, pkt.Seq
+		ack.Echo, ack.OWD = pkt.Echo, now.Sub(pkt.Echo)
 		c.net.Inject(ack, now)
+	}
+}
+
+// recvAckTimeout flushes a delayed acknowledgement when the 40 ms bound
+// expires before a second packet arrives.
+func recvAckTimeout(t sim.Time, arg any) {
+	r := arg.(*receiver)
+	if r.unacked > 0 {
+		r.flushAck(r.ackTrigger, t)
 	}
 }
 
 // flushAck emits the pending delayed acknowledgement.
 func (r *receiver) flushAck(seq int32, now sim.Time) {
 	r.unacked = 0
-	if r.ackTimer != nil {
-		r.ackTimer.Stop()
-	}
+	r.ackTimer.Stop()
 	r.sendAck(seq, now)
 }
 
 // sendAck emits the selective acknowledgement triggered by segment seq.
 func (r *receiver) sendAck(seq int32, now sim.Time) {
 	c := r.conn
-	ack := &netem.Packet{
-		Kind: netem.KindAck, Flow: c.ID,
-		Src: c.dst.Node.ID, Dst: c.src.Node.ID,
-		Size:   netem.AckSize,
-		CumAck: r.cumAck, AckedSeq: seq, RecvTotal: r.total,
-		Echo: now,
-	}
+	ack := c.net.NewPacket()
+	ack.Kind, ack.Flow = netem.KindAck, c.ID
+	ack.Src, ack.Dst = c.dst.Node.ID, c.src.Node.ID
+	ack.Size = netem.AckSize
+	ack.CumAck, ack.AckedSeq, ack.RecvTotal = r.cumAck, seq, r.total
+	ack.Echo = now
 	r.fillSACK(ack, seq)
 	c.net.Inject(ack, now)
 }
