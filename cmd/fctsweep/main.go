@@ -39,6 +39,7 @@ func main() {
 		horizon    = flag.Duration("horizon", 60*time.Second, "virtual seconds of arrivals per cell")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		workers    = flag.Int("workers", runtime.NumCPU(), "cells to simulate concurrently; 1 forces the serial path")
+		advName    = flag.String("adversity", "none", "fault-injection preset on the bottleneck, both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -96,6 +97,11 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	adv, err := netem.AdversityPreset(*advName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fctsweep:", err)
+		os.Exit(2)
+	}
 
 	table := metrics.NewTable(
 		fmt.Sprintf("FCT sweep: %dB flows, %dMbps bottleneck, %v RTT, %dB buffer", *flowBytes, *rateMbps, *rttArg, *bufBytes),
@@ -106,7 +112,7 @@ func main() {
 		return fmt.Sprintf("%s @%.0f%%", names[i/len(utils)], utils[i%len(utils)]*100)
 	}, func(i int) ([]any, error) {
 		name, util := names[i/len(utils)], utils[i%len(utils)]
-		return runCell(*seed, name, util, *flowBytes, *bufBytes, *rttArg, *rateMbps*netem.Mbps, *horizon), nil
+		return runCell(*seed, name, util, *flowBytes, *bufBytes, *rttArg, *rateMbps*netem.Mbps, *horizon, adv), nil
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fctsweep: %v\n", err)
@@ -119,11 +125,13 @@ func main() {
 }
 
 func runCell(seed uint64, name string, util float64, flowBytes, bufBytes int,
-	rtt time.Duration, rateBps int64, horizon time.Duration) []any {
+	rtt time.Duration, rateBps int64, horizon time.Duration, adv netem.Adversity) []any {
 	cfg := netem.DumbbellConfig{
 		Pairs: 16, BottleneckBps: rateBps, RTT: rtt, BufferBytes: bufBytes,
 	}.Defaulted()
 	s := experiment.NewDumbbellSim(seed, cfg)
+	s.D.Bottleneck.SetAdversity(adv)
+	s.D.Reverse.SetAdversity(adv)
 	inst := scheme.MustNew(name)
 	dist := workload.Fixed{Bytes: flowBytes}
 	ia := workload.MeanInterarrivalFor(dist.Mean(), util, cfg.BottleneckBps)

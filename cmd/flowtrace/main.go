@@ -36,6 +36,7 @@ func main() {
 		loss       = flag.Float64("loss", 0, "random loss probability per direction")
 		dropsArg   = flag.String("drop", "", "comma-separated segment numbers whose first copy is dropped")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
+		advName    = flag.String("adversity", "none", "fault-injection preset on both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
 	)
 	flag.Parse()
 
@@ -43,11 +44,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
+	adv, err := netem.AdversityPreset(*advName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flowtrace:", err)
+		os.Exit(2)
+	}
 
 	ps := experiment.NewPathSim(*seed, netem.PathConfig{
 		RateBps: *rateMbps * netem.Mbps, RTT: sim.Duration(*rtt),
 		BufferBytes: *buf, LossProb: *loss,
 	})
+	ps.Path.Forward.SetAdversity(adv)
+	ps.Path.Back.SetAdversity(adv)
 	rec := trace.NewRecorder()
 	rec.Attach(ps.Path.Net)
 

@@ -1,0 +1,115 @@
+package experiment
+
+import (
+	"fmt"
+
+	"halfback/internal/metrics"
+	"halfback/internal/netem"
+	"halfback/internal/ptest"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+)
+
+// Adversity is the robustness exhibit: every paper scheme crosses every
+// published adversity preset (reordering, jitter, duplication +
+// corruption, link flaps, and the combined torture profile) and the
+// exhibit reports, per cell, whether the safety invariants held —
+// completion, end-to-end payload integrity, exactly-once delivery,
+// scheduler drain, packet conservation — alongside how hard the path
+// fought back (retransmissions, duplicates seen, checksum drops) and
+// what the adversity cost in completion time.
+//
+// This is the paper's §4.2 "runs short flows quickly AND SAFELY" claim
+// made mechanical: speed tricks that survive a clean dumbbell are only
+// admissible if they also survive a network that reorders, duplicates,
+// corrupts and disconnects.
+
+// AdversityFlowBytes matches the wide-area transfer size (§4.2.1).
+const AdversityFlowBytes = 100_000
+
+// AdversityTrials is how many seeded universes each preset×scheme cell
+// runs at full scale.
+const AdversityTrials = 20
+
+// AdversityTrial is one (preset, scheme, seed) torture run.
+type AdversityTrial struct {
+	Preset string
+	Scheme string
+	Result *ptest.TortureResult
+}
+
+// AdversityResult is the exhibit's dataset.
+type AdversityResult struct {
+	Presets []string
+	Schemes []string
+	Trials  []AdversityTrial
+}
+
+// Adversity runs the exhibit: presets × schemes × seeded trials, fanned
+// across workers like every other sweep.
+func Adversity(seed uint64, sc Scale) *AdversityResult {
+	presets := netem.AdversityPresetNames()
+	schemes := scheme.Evaluated()
+	trials := sc.trials(AdversityTrials)
+	res := &AdversityResult{Presets: presets, Schemes: schemes}
+	cells := len(presets) * len(schemes)
+	res.Trials = sweep(sc, cells*trials, func(i int) string {
+		c := i / trials
+		return fmt.Sprintf("adversity %s scheme %s trial %d",
+			presets[c/len(schemes)], schemes[c%len(schemes)], i%trials)
+	}, func(i int) AdversityTrial {
+		c := i / trials
+		preset, name := presets[c/len(schemes)], schemes[c%len(schemes)]
+		u := ptest.PresetUniverse(sim.ChildSeed(seed^0xadefac7, uint64(i)), preset)
+		return AdversityTrial{
+			Preset: preset, Scheme: name,
+			Result: ptest.RunTorture(u, name, AdversityFlowBytes),
+		}
+	})
+	return res
+}
+
+// Tables renders the exhibit.
+func (r *AdversityResult) Tables() []*metrics.Table {
+	safety := metrics.NewTable("Adversity: safety invariants (violations/trials)",
+		"preset", "scheme", "trials", "incomplete", "checksum_bad", "dup_to_app", "undrained", "conservation_bad")
+	cost := metrics.NewTable("Adversity: cost of surviving",
+		"preset", "scheme", "mean_fct_ms", "retx_per_flow", "dups_seen", "checksum_drops")
+	for _, preset := range r.Presets {
+		for _, name := range r.Schemes {
+			var n, incomplete, badSum, dupApp, undrained, badCons int
+			var fct, retx, dups, sumDrops float64
+			for _, tr := range r.Trials {
+				if tr.Preset != preset || tr.Scheme != name {
+					continue
+				}
+				n++
+				res := tr.Result
+				if !res.Completed || !res.SenderDone {
+					incomplete++
+				}
+				if !res.ChecksumOK {
+					badSum++
+				}
+				if res.Deliveries != res.NumSegs {
+					dupApp++
+				}
+				if !res.Drained {
+					undrained++
+				}
+				if !res.ConservationOK {
+					badCons++
+				}
+				fct += res.Stats.FCT().Seconds() * 1000
+				retx += float64(res.Stats.NormalRetx)
+				dups += float64(res.Stats.DupDataAtReceiver)
+				sumDrops += float64(res.Stats.ChecksumDrops)
+			}
+			safety.AddRow(preset, name, n, incomplete, badSum, dupApp, undrained, badCons)
+			if n > 0 {
+				cost.AddRow(preset, name, fct/float64(n), retx/float64(n), dups/float64(n), sumDrops/float64(n))
+			}
+		}
+	}
+	return []*metrics.Table{safety, cost}
+}

@@ -21,14 +21,18 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/")
 // multi-core machine is also a spot check of the parallel path against
 // renderings produced by the serial code.
 func TestGoldenTables(t *testing.T) {
-	for _, id := range []string{"2", "3"} {
-		t.Run("fig"+id, func(t *testing.T) {
+	for _, id := range []string{"2", "3", "adversity"} {
+		name := id
+		if id[0] >= '0' && id[0] <= '9' {
+			name = "fig" + id
+		}
+		t.Run(name, func(t *testing.T) {
 			e, err := Lookup(id)
 			if err != nil {
 				t.Fatal(err)
 			}
 			got := renderAll(e.Run(1, Quick))
-			path := filepath.Join("testdata", "fig"+id+"_quick.golden")
+			path := filepath.Join("testdata", name+"_quick.golden")
 			if *update {
 				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
 					t.Fatal(err)

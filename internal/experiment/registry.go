@@ -35,6 +35,7 @@ func Registry() []Entry {
 		{"ext", "Extensions: initial burst & reduced proactive budget", func(s uint64, sc Scale) Result { return Extensions(s, sc) }},
 		{"aqm", "AQM complementarity (CoDel/RED vs drop-tail)", func(s uint64, sc Scale) Result { return AQM(s, sc) }},
 		{"multihop", "Parking-lot chain of bottlenecks", func(s uint64, sc Scale) Result { return Multihop(s, sc) }},
+		{"adversity", "Safety under network adversity (reorder/dup/corrupt/flap)", func(s uint64, sc Scale) Result { return Adversity(s, sc) }},
 	}
 }
 

@@ -1,0 +1,201 @@
+package netem
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+
+	"halfback/internal/sim"
+)
+
+// Adversity is the per-link fault-injection configuration: the
+// pathologies real Internet paths exhibit beyond rate/delay/queueing —
+// reordering, duplication, bit corruption, delay jitter and link flaps.
+// The zero value disables everything and is guaranteed to leave the
+// link's behaviour bit-for-bit identical to a link that never heard of
+// adversity: no RNG stream is forked and no draw is made until at least
+// one knob is non-zero, so goldens recorded without adversity stay
+// valid.
+//
+// All randomness comes from a dedicated per-link stream forked from the
+// network RNG at SetAdversity time (see advForkName), so enabling
+// adversity on one link never perturbs another link's loss sequence,
+// and a fleet of universes stays deterministic for any worker count.
+type Adversity struct {
+	// ReorderProb delays a packet's propagation by an extra
+	// ReorderDelay with this probability, letting later packets
+	// overtake it. Displacement is bounded: a delayed packet can be
+	// overtaken only by packets that complete serialization within the
+	// extra delay, so small delays produce the short-range reordering
+	// of multipath and link-layer retries.
+	ReorderProb float64
+	// ReorderDelay is the extra propagation delay of a reordered
+	// packet; zero defaults to two full-segment serialization times.
+	ReorderDelay sim.Duration
+
+	// DupProb duplicates a packet at the end of serialization with
+	// this probability: both copies propagate (with independent jitter
+	// and reorder draws), modelling link-layer retransmission of a
+	// frame whose ACK was lost.
+	DupProb float64
+
+	// CorruptProb flips a random bit of the packet's payload checksum
+	// with this probability, after the packet has consumed queue space
+	// and wire time. Corrupted control packets are discarded by the
+	// receiving stack (header CRC); corrupted data packets travel to
+	// the endpoint and fail the transport's end-to-end payload
+	// checksum there. Either way corruption surfaces as loss — never
+	// as wrong data delivered to the application.
+	CorruptProb float64
+
+	// JitterProb adds, with this probability, a uniform extra
+	// propagation delay in (0, JitterMax] — the delay noise of
+	// wireless links and cross-traffic-perturbed paths.
+	JitterProb float64
+	// JitterMax bounds the jitter; zero defaults to one full-segment
+	// serialization time.
+	JitterMax sim.Duration
+
+	// Flaps schedules link outages: while down, the link drops every
+	// packet offered to it (packets already queued or in flight
+	// survive). Windows may overlap; each must have UpAt > DownAt.
+	Flaps []Flap
+}
+
+// Flap is one scheduled outage window [DownAt, UpAt).
+type Flap struct {
+	DownAt sim.Time
+	UpAt   sim.Time
+}
+
+// Enabled reports whether any knob is non-zero.
+func (a Adversity) Enabled() bool {
+	return a.ReorderProb > 0 || a.DupProb > 0 || a.CorruptProb > 0 ||
+		a.JitterProb > 0 || len(a.Flaps) > 0
+}
+
+// validate panics on configurations that would silently misbehave.
+func (a Adversity) validate() {
+	bad := func(name string, p float64) {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("netem: adversity %s=%g outside [0,1]", name, p))
+		}
+	}
+	bad("ReorderProb", a.ReorderProb)
+	bad("DupProb", a.DupProb)
+	bad("CorruptProb", a.CorruptProb)
+	bad("JitterProb", a.JitterProb)
+	for _, f := range a.Flaps {
+		if f.UpAt <= f.DownAt {
+			panic(fmt.Sprintf("netem: flap window [%v,%v) is empty", f.DownAt, f.UpAt))
+		}
+	}
+}
+
+// SetAdversity installs the fault-injection configuration on the link
+// and schedules its flap windows. Call once, after topology
+// construction and before traffic flows. A zero-value Adversity is a
+// no-op: nothing is forked, nothing is scheduled, and the link stays
+// byte-identical to an unconfigured one.
+func (l *Link) SetAdversity(adv Adversity) {
+	adv.validate()
+	if l.advRng != nil {
+		panic("netem: SetAdversity called twice on " + l.Name())
+	}
+	if !adv.Enabled() {
+		return
+	}
+	l.adv = adv
+	l.advRng = l.net.rng.ForkNamed(advForkName(l.From, l.To))
+	for _, f := range adv.Flaps {
+		l.net.sched.AtFunc(f.DownAt, linkFlapDown, l)
+		l.net.sched.AtFunc(f.UpAt, linkFlapUp, l)
+	}
+}
+
+// Adversity returns the link's installed configuration (zero if none).
+func (l *Link) Adversity() Adversity { return l.adv }
+
+// Down reports whether the link is currently inside a flap outage.
+func (l *Link) Down() bool { return l.downDepth > 0 }
+
+// linkFlapDown / linkFlapUp toggle the outage state. A depth counter
+// rather than a bool keeps overlapping windows correct.
+func linkFlapDown(t sim.Time, arg any) { arg.(*Link).downDepth++ }
+
+func linkFlapUp(t sim.Time, arg any) {
+	l := arg.(*Link)
+	if l.downDepth > 0 {
+		l.downDepth--
+	}
+}
+
+// advForkName renders the per-link adversity RNG stream name
+// ("adv:<from>-><to>"), fmt-free like lossForkName.
+func advForkName(from, to NodeID) string {
+	buf := make([]byte, 0, 24)
+	buf = append(buf, "adv:"...)
+	buf = strconv.AppendInt(buf, int64(from), 10)
+	buf = append(buf, '-', '>')
+	buf = strconv.AppendInt(buf, int64(to), 10)
+	return string(buf)
+}
+
+// Presets ---------------------------------------------------------------
+
+// AdversityPreset returns a named canned configuration, shared by the
+// experiment exhibits, the torture harness and the CLIs so "the same
+// adversity" means the same knobs everywhere.
+//
+//	none       all knobs zero
+//	reorder    20% of packets delayed 5 ms (short-range reordering)
+//	jitter     half the packets get up to 3 ms of extra delay
+//	dupcorrupt 5% duplication plus 2% payload corruption
+//	flaky      two outages in the first 1.5 s (250 ms and 150 ms)
+//	torture    everything at once
+func AdversityPreset(name string) (Adversity, error) {
+	switch name {
+	case "none":
+		return Adversity{}, nil
+	case "reorder":
+		return Adversity{ReorderProb: 0.2, ReorderDelay: 5 * sim.Millisecond}, nil
+	case "jitter":
+		return Adversity{JitterProb: 0.5, JitterMax: 3 * sim.Millisecond}, nil
+	case "dupcorrupt":
+		return Adversity{DupProb: 0.05, CorruptProb: 0.02}, nil
+	case "flaky":
+		return Adversity{Flaps: []Flap{
+			{DownAt: sim.Time(200 * sim.Millisecond), UpAt: sim.Time(450 * sim.Millisecond)},
+			{DownAt: sim.Time(1200 * sim.Millisecond), UpAt: sim.Time(1350 * sim.Millisecond)},
+		}}, nil
+	case "torture":
+		return Adversity{
+			ReorderProb: 0.15, ReorderDelay: 5 * sim.Millisecond,
+			DupProb: 0.05, CorruptProb: 0.02,
+			JitterProb: 0.3, JitterMax: 3 * sim.Millisecond,
+			Flaps: []Flap{
+				{DownAt: sim.Time(200 * sim.Millisecond), UpAt: sim.Time(450 * sim.Millisecond)},
+				{DownAt: sim.Time(1200 * sim.Millisecond), UpAt: sim.Time(1350 * sim.Millisecond)},
+			},
+		}, nil
+	default:
+		return Adversity{}, fmt.Errorf("netem: unknown adversity preset %q (known: %v)",
+			name, AdversityPresetNames())
+	}
+}
+
+// MustAdversityPreset is AdversityPreset for statically known names.
+func MustAdversityPreset(name string) Adversity {
+	a, err := AdversityPreset(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// AdversityPresetNames lists the known presets, sorted.
+func AdversityPresetNames() []string {
+	names := []string{"none", "reorder", "jitter", "dupcorrupt", "flaky", "torture"}
+	sort.Strings(names)
+	return names
+}

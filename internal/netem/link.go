@@ -18,6 +18,14 @@ type LinkStats struct {
 	BytesTx      int64 // bytes fully serialized onto the wire
 	BusyTime     sim.Duration
 	MaxQueueByte int // high-water mark of queued bytes
+
+	// Adversity instrumentation (see Adversity); all zero unless the
+	// link has a non-trivial adversity configuration installed.
+	FlapDrops  int64 // packets dropped because the link was down
+	Duplicated int64 // extra copies created by the duplication process
+	Corrupted  int64 // packets whose payload checksum was damaged
+	Reordered  int64 // packets given the adversity reorder delay
+	Jittered   int64 // packets given extra jitter delay
 }
 
 // Link is a unidirectional channel from one node to another with a fixed
@@ -70,6 +78,15 @@ type Link struct {
 	codel    codelState
 	red      redState
 	aqmReady bool
+
+	// Fault injection (see adversity.go). advRng is forked from the
+	// network RNG only when SetAdversity installs a non-trivial config,
+	// so unconfigured links draw exactly the same random sequence they
+	// always did. downDepth counts overlapping flap windows currently
+	// holding the link down.
+	adv       Adversity
+	advRng    *sim.Rand
+	downDepth int
 }
 
 // Name renders the link's human-readable "from->to" label on demand.
@@ -117,6 +134,11 @@ func (l *Link) QueueDelay() sim.Duration { return l.TxTime(l.queuedByte) }
 // drop-tail queue admission check, then begins transmission if the line is
 // idle. Send reports whether the packet was accepted.
 func (l *Link) Send(pkt *Packet, now sim.Time) bool {
+	if l.downDepth > 0 {
+		l.Stats.FlapDrops++
+		l.net.dropPacket(l, pkt, now)
+		return false
+	}
 	if l.LossProb > 0 && l.rng.Bool(l.LossProb) {
 		l.Stats.RandomLosses++
 		l.net.dropPacket(l, pkt, now)
@@ -190,9 +212,33 @@ func linkTxDone(t sim.Time, arg any) {
 	l.txPkt = nil
 	l.Stats.Transmitted++
 	l.Stats.BytesTx += int64(pkt.Size)
-	// Propagation: packet arrives Delay later; the line frees
-	// immediately. Reordering injection adds an occasional extra
-	// propagation delay so later packets overtake this one.
+	// Adversity duplication happens at serialization end — the wire
+	// carried the frame once, but the far end will see it twice (a
+	// link-layer retransmission whose ACK was lost). The clone is drawn
+	// from the pool and both copies take independent propagation draws.
+	if l.advRng != nil && l.adv.DupProb > 0 && l.advRng.Bool(l.adv.DupProb) {
+		cp := l.net.clonePacket(pkt)
+		l.Stats.Duplicated++
+		l.net.DuplicatedTotal++
+		l.propagate(pkt)
+		l.propagate(cp)
+	} else {
+		l.propagate(pkt)
+	}
+	if len(l.queue) > 0 {
+		l.startTransmit(t)
+	} else {
+		l.busy = false
+	}
+}
+
+// propagate schedules a packet's arrival at the far end of the wire:
+// base propagation delay, plus the legacy reorder knob (drawn from the
+// link's loss RNG exactly as before, so adversity-free links are
+// byte-identical to history), plus — only when adversity is installed —
+// jitter, adversity reordering and checksum corruption drawn in a fixed
+// order from the dedicated adversity stream.
+func (l *Link) propagate(pkt *Packet) {
 	prop := l.Delay
 	if l.ReorderProb > 0 && l.rng.Bool(l.ReorderProb) {
 		extra := l.ReorderDelay
@@ -201,13 +247,32 @@ func linkTxDone(t sim.Time, arg any) {
 		}
 		prop += extra
 	}
+	if r := l.advRng; r != nil {
+		a := &l.adv
+		if a.JitterProb > 0 && r.Bool(a.JitterProb) {
+			max := a.JitterMax
+			if max <= 0 {
+				max = l.TxTime(SegmentSize)
+			}
+			l.Stats.Jittered++
+			prop += sim.Duration(r.Int63n(int64(max))) + 1
+		}
+		if a.ReorderProb > 0 && r.Bool(a.ReorderProb) {
+			extra := a.ReorderDelay
+			if extra <= 0 {
+				extra = 2 * l.TxTime(SegmentSize)
+			}
+			l.Stats.Reordered++
+			prop += extra
+		}
+		if a.CorruptProb > 0 && r.Bool(a.CorruptProb) {
+			l.Stats.Corrupted++
+			pkt.Corrupted = true
+			pkt.PayloadSum ^= 1 << uint(r.Intn(64))
+		}
+	}
 	pkt.link = l
 	l.net.sched.AfterFunc(prop, linkPropagated, pkt)
-	if len(l.queue) > 0 {
-		l.startTransmit(t)
-	} else {
-		l.busy = false
-	}
 }
 
 // linkPropagated fires when a packet reaches the far end of its wire.

@@ -37,6 +37,16 @@ type Network struct {
 
 	// DroppedTotal counts packets lost anywhere in the network.
 	DroppedTotal int64
+	// InjectedTotal counts packets handed to Inject.
+	InjectedTotal int64
+	// DeliveredTotal counts packets handed to a destination's Deliver
+	// handler. Together with DuplicatedTotal these give the network-wide
+	// conservation law: Injected + Duplicated == Delivered + Dropped
+	// once the scheduler drains.
+	DeliveredTotal int64
+	// DuplicatedTotal counts extra copies created by link-level
+	// duplication (adversity); zero unless adversity is configured.
+	DuplicatedTotal int64
 
 	// Trace, if set, observes every packet's life-cycle: one Send event
 	// at injection, one Drop event per loss (any link), one Recv event
@@ -112,6 +122,17 @@ func (n *Network) releasePacket(p *Packet) {
 	}
 	*p = Packet{pooled: true}
 	n.pktFree = append(n.pktFree, p)
+}
+
+// clonePacket duplicates a packet through the pool, preserving the
+// clone's own pooled flag so a clone of a literal (&Packet{}) packet is
+// still recycled correctly.
+func (n *Network) clonePacket(p *Packet) *Packet {
+	cp := n.NewPacket()
+	pooled := cp.pooled
+	*cp = *p
+	cp.pooled = pooled
+	return cp
 }
 
 // dropPacket is the single accounting point for every packet lost
@@ -236,6 +257,7 @@ func (n *Network) ComputeRoutes() {
 // node must have a route; transport stacks call this for every packet they
 // emit. Inject reports whether the first hop accepted the packet.
 func (n *Network) Inject(pkt *Packet, now sim.Time) bool {
+	n.InjectedTotal++
 	if n.Trace != nil {
 		n.Trace(TraceEvent{Kind: TraceSend, At: now, Pkt: *pkt})
 	}
@@ -262,6 +284,7 @@ func (n *Network) deliver(at NodeID, pkt *Packet, now sim.Time) {
 		if node.Deliver == nil {
 			panic(fmt.Sprintf("netem: packet for %s but node has no Deliver handler", node.Name))
 		}
+		n.DeliveredTotal++
 		if n.Trace != nil {
 			n.Trace(TraceEvent{Kind: TraceRecv, At: now, Pkt: *pkt})
 		}

@@ -139,6 +139,19 @@ type Packet struct {
 	// PROBEACK packets for PCP's delay-trend test.
 	OWD sim.Duration
 
+	// PayloadSum is the end-to-end checksum of the packet's payload,
+	// stamped by the sending transport for DATA segments (a pure
+	// function of flow, seq and size — see transport.PayloadSum, which
+	// models a pseudorandom payload without materializing bytes). Link
+	// corruption flips a bit here; receivers recompute and discard on
+	// mismatch, so corruption surfaces as loss, never as wrong data.
+	PayloadSum uint64
+	// Corrupted marks packets damaged in flight. Receiving stacks drop
+	// corrupted control packets outright (the header-CRC analogue);
+	// corrupted DATA reaches the endpoint and fails its payload
+	// checksum there.
+	Corrupted bool
+
 	// link is the wire currently propagating this packet; the arrival
 	// event carries the packet itself, and reads the link from here
 	// rather than from a closure.

@@ -15,7 +15,7 @@ import (
 // and diffed against real captures, and so the packet structures stay
 // honest about what would actually fit on the wire.
 //
-// Layout (big-endian, 52 bytes fixed + 8 per SACK block):
+// Layout (big-endian, 62 bytes fixed + 8 per SACK block):
 //
 //	 0: magic   uint16  0x4842 ("HB")
 //	 2: version uint8
@@ -25,27 +25,44 @@ import (
 //	16: dst     int32
 //	20: seq     int32
 //	24: size    int32   (payload size claim, bytes)
-//	28: flags   uint8   (bit0 retransmit, bit1 proactive)
+//	28: flags   uint8   (bit0 retransmit, bit1 proactive, bit2 corrupted)
 //	29: numSACK uint8
 //	30: cumAck  int32
 //	34: ackedSeq int32
 //	38: recvTotal int32
 //	42: window  int32
 //	46: echo    int64   (transport send timestamp, ns)
-//	54... numSACK × {lo int32, hi int32}
+//	54: payloadSum uint64 (end-to-end payload checksum)
+//	62... numSACK × {lo int32, hi int32}
+//
+// Version 1 headers (54 bytes, no payloadSum) are still decoded; the
+// checksum reads as zero and the corrupted flag as clear.
 
 // WireVersion is the current header version.
-const WireVersion = 1
+const WireVersion = 2
 
 // wireMagic identifies a Halfback wire header.
 const wireMagic = 0x4842
 
-// wireFixedLen is the fixed header size in bytes.
-const wireFixedLen = 54
+// wireFixedLen is the fixed header size in bytes (version 2).
+const wireFixedLen = 62
 
-// MarshalPacket encodes the packet header into a fresh byte slice.
+// wireFixedLenV1 is the version-1 fixed header size, still decodable.
+const wireFixedLenV1 = 54
+
+// MarshalPacket encodes the packet header into a fresh byte slice. An
+// out-of-range NumSACK (negative, or beyond MaxSACKBlocks) is clamped
+// rather than trusted: trusting it either panics make() or reads past
+// the SACK array.
 func MarshalPacket(p *Packet) []byte {
-	buf := make([]byte, wireFixedLen+8*p.NumSACK)
+	numSACK := p.NumSACK
+	if numSACK < 0 {
+		numSACK = 0
+	}
+	if numSACK > MaxSACKBlocks {
+		numSACK = MaxSACKBlocks
+	}
+	buf := make([]byte, wireFixedLen+8*numSACK)
 	binary.BigEndian.PutUint16(buf[0:], wireMagic)
 	buf[2] = WireVersion
 	buf[3] = byte(p.Kind)
@@ -61,14 +78,18 @@ func MarshalPacket(p *Packet) []byte {
 	if p.Proactive {
 		flags |= 2
 	}
+	if p.Corrupted {
+		flags |= 4
+	}
 	buf[28] = flags
-	buf[29] = byte(p.NumSACK)
+	buf[29] = byte(numSACK)
 	binary.BigEndian.PutUint32(buf[30:], uint32(p.CumAck))
 	binary.BigEndian.PutUint32(buf[34:], uint32(p.AckedSeq))
 	binary.BigEndian.PutUint32(buf[38:], uint32(p.RecvTotal))
 	binary.BigEndian.PutUint32(buf[42:], uint32(p.Window))
 	binary.BigEndian.PutUint64(buf[46:], uint64(p.Echo))
-	for i := 0; i < p.NumSACK; i++ {
+	binary.BigEndian.PutUint64(buf[54:], p.PayloadSum)
+	for i := 0; i < numSACK; i++ {
 		off := wireFixedLen + 8*i
 		binary.BigEndian.PutUint32(buf[off:], uint32(p.SACK[i].Lo))
 		binary.BigEndian.PutUint32(buf[off+4:], uint32(p.SACK[i].Hi))
@@ -84,23 +105,33 @@ var (
 	ErrWireSACK     = errors.New("netem: invalid SACK count")
 )
 
-// UnmarshalPacket decodes a packet header. It returns the decoded packet
-// and the number of bytes consumed.
+// UnmarshalPacket decodes a packet header (current or version 1). It
+// returns the decoded packet and the number of bytes consumed. Any
+// malformed input — truncated, zero-length, bad magic, unknown version,
+// oversized SACK count — yields an error, never a panic.
 func UnmarshalPacket(buf []byte) (*Packet, int, error) {
-	if len(buf) < wireFixedLen {
+	if len(buf) < wireFixedLenV1 {
 		return nil, 0, ErrWireTooShort
 	}
 	if binary.BigEndian.Uint16(buf[0:]) != wireMagic {
 		return nil, 0, ErrWireMagic
 	}
-	if buf[2] != WireVersion {
+	fixed := wireFixedLen
+	switch buf[2] {
+	case 1:
+		fixed = wireFixedLenV1
+	case WireVersion:
+	default:
 		return nil, 0, fmt.Errorf("%w: %d", ErrWireVersion, buf[2])
+	}
+	if len(buf) < fixed {
+		return nil, 0, ErrWireTooShort
 	}
 	numSACK := int(buf[29])
 	if numSACK > MaxSACKBlocks {
 		return nil, 0, fmt.Errorf("%w: %d", ErrWireSACK, numSACK)
 	}
-	total := wireFixedLen + 8*numSACK
+	total := fixed + 8*numSACK
 	if len(buf) < total {
 		return nil, 0, ErrWireTooShort
 	}
@@ -120,8 +151,12 @@ func UnmarshalPacket(buf []byte) (*Packet, int, error) {
 	}
 	p.Retransmit = buf[28]&1 != 0
 	p.Proactive = buf[28]&2 != 0
+	if buf[2] == WireVersion {
+		p.Corrupted = buf[28]&4 != 0
+		p.PayloadSum = binary.BigEndian.Uint64(buf[54:])
+	}
 	for i := 0; i < numSACK; i++ {
-		off := wireFixedLen + 8*i
+		off := fixed + 8*i
 		p.SACK[i] = SeqRange{
 			Lo: int32(binary.BigEndian.Uint32(buf[off:])),
 			Hi: int32(binary.BigEndian.Uint32(buf[off+4:])),

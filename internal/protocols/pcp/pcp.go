@@ -57,12 +57,21 @@ type Logic struct {
 	retxBudget int
 	failures   int64
 	rounds     int64
+
+	// Loss-event bookkeeping for reorder tolerance: lossEventEnd is
+	// HighSent at the last rate cut, so deemed-lost segments at or
+	// below it belong to the already-reacted-to event and must not
+	// halve the rate again (under reordering a segment can look lost
+	// on every ACK for an entire round trip). probedRate is the last
+	// probe-verified rate — the ceiling recovery may climb back to.
+	lossEventEnd int32
+	probedRate   float64
 }
 
 // New returns the Logic factory.
 func New() func(*transport.Conn) transport.Logic {
 	return func(c *transport.Conn) transport.Logic {
-		return &Logic{c: c, retxBudget: 1}
+		return &Logic{c: c, retxBudget: 1, lossEventEnd: -1}
 	}
 }
 
@@ -156,11 +165,22 @@ func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
 		l.onProbeAck(pkt, now)
 		return
 	}
-	// Data ACK: infer loss, halve on new loss events, keep the paced
-	// stream ticking if there is more to send.
+	// Data ACK: infer loss, halve once per loss event, recover toward
+	// the probe-verified rate on loss-free progress, and keep the
+	// paced stream ticking if there is more to send.
 	sc := l.c.Score
 	if lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget); lost >= 0 {
-		l.rate = maxf(l.rate/2, l.floorRate)
+		if lost > l.lossEventEnd {
+			l.rate = maxf(l.rate/2, l.floorRate)
+			l.lossEventEnd = sc.HighSent()
+		}
+	} else if up.NewCumAcked > 0 && sc.CumAck() > l.lossEventEnd && l.rate < l.probedRate {
+		// The last loss event is fully behind us; climb back, never
+		// beyond what a probe actually verified. The climb must be
+		// fast enough to escape the floor-rate regime (one packet per
+		// RTT, where every loss costs a full RTO) within a handful of
+		// loss-free ACKs on chronically lossy paths.
+		l.rate = minf(l.rate*1.25, l.probedRate)
 	}
 	if !l.ticking && !l.probing {
 		l.startTicking(now)
@@ -219,6 +239,7 @@ func (l *Logic) probeVerdict(ok bool, now sim.Time) {
 			l.failures++
 			l.rate = maxf(l.rate/2, l.floorRate)
 		}
+		l.probedRate = l.rate
 		l.startTicking(now)
 		return
 	}
@@ -277,6 +298,7 @@ func (l *Logic) OnRTO(now sim.Time) {
 	l.retxBudget++
 	l.rate = maxf(l.rate/2, l.floorRate)
 	sc := l.c.Score
+	l.lossEventEnd = sc.HighSent()
 	if seq := sc.CumAck(); seq < l.c.NumSegs && sc.SentOnce(seq) && !sc.IsAcked(seq) {
 		l.c.SendSegment(seq, true, false, now)
 	}
@@ -293,6 +315,13 @@ func (l *Logic) OnDone(now sim.Time) {
 
 func maxf(a, b float64) float64 {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minf(a, b float64) float64 {
+	if a < b {
 		return a
 	}
 	return b

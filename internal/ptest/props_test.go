@@ -1,0 +1,187 @@
+package ptest
+
+import (
+	"testing"
+	"testing/quick"
+
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+)
+
+// TestRTOBackoffProperties: for any RTT sample history and any bounds,
+// the RTO is monotone in the backoff exponent, never below the minimum
+// and never above the maximum.
+func TestRTOBackoffProperties(t *testing.T) {
+	f := func(samples []uint32, minMs, spanMs uint16) bool {
+		min := sim.Duration(minMs%2000+1) * sim.Millisecond
+		max := min + sim.Duration(spanMs)*sim.Millisecond
+		e := transport.NewRTTEstimator(min, min, max)
+		for _, s := range samples {
+			e.Sample(sim.Duration(s) % (5 * sim.Second))
+		}
+		prev := sim.Duration(0)
+		for b := 0; b <= 20; b++ {
+			rto := e.RTO(b)
+			if rto < min || rto > max || rto < prev {
+				return false
+			}
+			prev = rto
+		}
+		// The cap must actually bite for a large enough exponent.
+		return e.RTO(64) == max || e.RTO(0) == max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRTOBackoffResetsOnAck: a connection that has backed off across
+// several timeouts returns to backoff 0 as soon as the cumulative ACK
+// point advances (RFC 6298 §5.7).
+func TestRTOBackoffResetsOnAck(t *testing.T) {
+	w := NewWorld(netem.PathConfig{RateBps: 10 * netem.Mbps, RTT: 40 * sim.Millisecond})
+	conn := w.Dial(50_000, transport.Options{}, scheme.MustNew(scheme.TCP).Make)
+	// Swallow every data packet for the first 4 s: the sender can only
+	// time out, doubling its RTO each round.
+	blackoutEnd := sim.Time(4 * sim.Second)
+	w.TapClient(func(pkt *netem.Packet, now sim.Time) bool {
+		return pkt.Kind != netem.KindData || now >= blackoutEnd
+	})
+	conn.Start(0)
+	w.Sched.RunUntil(blackoutEnd)
+	if conn.Stats.Timeouts < 2 || conn.RTOBackoff() < 2 {
+		t.Fatalf("blackout produced timeouts=%d backoff=%d, want ≥2 each",
+			conn.Stats.Timeouts, conn.RTOBackoff())
+	}
+	w.Sched.RunUntil(blackoutEnd.Add(60 * sim.Second))
+	if !conn.Stats.Completed {
+		t.Fatal("flow did not complete after the blackout lifted")
+	}
+	if conn.RTOBackoff() != 0 {
+		t.Fatalf("backoff %d after cumulative progress, want 0", conn.RTOBackoff())
+	}
+	conn.Abort()
+}
+
+// sbState snapshots every observable of a scoreboard so property tests
+// can compare states structurally.
+func sbState(s *transport.Scoreboard, dupThresh int) []int32 {
+	out := []int32{s.CumAck(), s.HighSent(), s.SackedAboveCum(), s.Pipe(dupThresh)}
+	for seq := int32(0); seq < s.N(); seq++ {
+		var v int32
+		if s.IsAcked(seq) {
+			v |= 1
+		}
+		if s.DeemedLost(seq, dupThresh) {
+			v |= 2
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func eqState(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// randAck builds a random-but-plausible ACK packet for an n-segment
+// flow with the given high-water mark.
+func randAck(rng *sim.Rand, n, highSent int32) *netem.Packet {
+	pkt := &netem.Packet{Kind: netem.KindAck, AckedSeq: -1}
+	pkt.CumAck = int32(rng.Intn(int(n) + 1))
+	nb := rng.Intn(netem.MaxSACKBlocks + 1)
+	for i := 0; i < nb; i++ {
+		lo := int32(rng.Intn(int(n)))
+		hi := lo + 1 + int32(rng.Intn(4))
+		pkt.SACK[pkt.NumSACK] = netem.SeqRange{Lo: lo, Hi: hi}
+		pkt.NumSACK++
+	}
+	return pkt
+}
+
+// TestScoreboardIdempotentUnderDuplicates: replaying any ACK (the
+// network duplicating it) leaves every scoreboard observable unchanged,
+// and the duplicate reports Duplicate.
+func TestScoreboardIdempotentUnderDuplicates(t *testing.T) {
+	f := func(seed uint64, nSegs uint8, nAcks uint8) bool {
+		n := int32(nSegs)%40 + 2
+		rng := sim.NewRand(seed)
+		s := transport.NewScoreboard(n)
+		for seq := int32(0); seq < n; seq++ {
+			if rng.Bool(0.8) {
+				s.NoteSend(seq, rng.Bool(0.2))
+			}
+		}
+		for k := 0; k < int(nAcks)%20+1; k++ {
+			pkt := randAck(rng, n, s.HighSent())
+			s.Update(pkt)
+			before := sbState(s, 3)
+			up := s.Update(pkt) // the network duplicated the ACK
+			if !up.Duplicate {
+				return false
+			}
+			if !eqState(before, sbState(s, 3)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScoreboardOrderIndependent: a set of ACKs folded in any order
+// (the network reordering them) converges to the same state — the
+// scoreboard is a join-semilattice over acknowledgement knowledge.
+func TestScoreboardOrderIndependent(t *testing.T) {
+	f := func(seed uint64, nSegs uint8, nAcks uint8) bool {
+		n := int32(nSegs)%40 + 2
+		rng := sim.NewRand(seed)
+		var sends []int32
+		var retx []bool
+		for seq := int32(0); seq < n; seq++ {
+			if rng.Bool(0.8) {
+				sends = append(sends, seq)
+				retx = append(retx, rng.Bool(0.2))
+			}
+		}
+		build := func() *transport.Scoreboard {
+			s := transport.NewScoreboard(n)
+			for i, seq := range sends {
+				s.NoteSend(seq, retx[i])
+			}
+			return s
+		}
+		a, b := build(), build()
+		acks := make([]*netem.Packet, int(nAcks)%12+1)
+		for i := range acks {
+			acks[i] = randAck(rng, n, a.HighSent())
+		}
+		for _, pkt := range acks {
+			a.Update(pkt)
+		}
+		perm := make([]int, len(acks))
+		for i := range perm {
+			perm[i] = i
+		}
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		for _, i := range perm {
+			b.Update(acks[i])
+		}
+		return eqState(sbState(a, 3), sbState(b, 3))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

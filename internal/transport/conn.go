@@ -266,6 +266,7 @@ func (c *Conn) SendSegment(seq int32, retransmit, proactive bool, now sim.Time) 
 	pkt.Seq, pkt.Size = seq, c.SegmentSize(seq)
 	pkt.Retransmit, pkt.Proactive = retransmit, proactive
 	pkt.Echo, pkt.AckedSeq = now, -1
+	pkt.PayloadSum = PayloadSum(c.ID, seq, pkt.Size)
 	if !retransmit && c.sentAt[seq] == 0 {
 		c.sentAt[seq] = now
 		if now == 0 {
@@ -311,6 +312,11 @@ func (c *Conn) WindowLimit() int32 {
 
 // FcwSegs returns the advertised flow-control window in segments.
 func (c *Conn) FcwSegs() int32 { return c.fcwSegs }
+
+// RTOBackoff returns the current exponential-backoff exponent of the
+// retransmission timer (0 after any cumulative-ACK progress). Exposed
+// for the property tests in internal/ptest.
+func (c *Conn) RTOBackoff() int { return c.rtoBackoff }
 
 // restartRTO (re)arms the retransmission timer with the current backoff.
 // The timer is scheduled closure-free: arming happens on every data send

@@ -45,10 +45,19 @@ func (r *receiver) handlePacket(pkt *netem.Packet, now sim.Time) {
 		if seq < 0 || seq >= c.NumSegs {
 			return
 		}
+		// End-to-end integrity: a segment whose payload checksum does
+		// not match the pseudorandom payload it claims to carry was
+		// corrupted in flight. Discard without acknowledging — the
+		// sender sees it as a loss and retransmits.
+		if pkt.PayloadSum != PayloadSum(c.ID, seq, pkt.Size) {
+			c.Stats.ChecksumDrops++
+			return
+		}
 		if r.got[seq] {
 			c.Stats.DupDataAtReceiver++
 		} else {
 			r.got[seq] = true
+			c.Stats.PayloadSumRecv ^= pkt.PayloadSum
 			if seq > r.maxSeq {
 				r.maxSeq = seq
 			}

@@ -101,12 +101,11 @@ type AckUpdate struct {
 // Update folds an incoming ACK into the scoreboard.
 func (s *Scoreboard) Update(pkt *netem.Packet) AckUpdate {
 	var up AckUpdate
-	if pkt.CumAck > s.cumAck {
-		up.NewCumAcked = pkt.CumAck - s.cumAck
-		end := pkt.CumAck
-		if end > s.n {
-			end = s.n
-		}
+	if end := min32(pkt.CumAck, s.n); end > s.cumAck {
+		// Clamp before computing the delta: an ACK claiming beyond the
+		// end of the flow (corrupt, or crafted) must not report phantom
+		// progress — once cumAck sits at n, replaying it is a duplicate.
+		up.NewCumAcked = end - s.cumAck
 		for seq := s.cumAck; seq < end; seq++ {
 			if s.sacked[seq] {
 				s.sackedCnt--

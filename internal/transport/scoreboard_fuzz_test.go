@@ -1,0 +1,81 @@
+package transport
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"halfback/internal/netem"
+)
+
+// FuzzScoreboard drives the SACK scoreboard with a fuzzer-chosen
+// interleaving of sends and adversarial ACKs. Sends follow the caller
+// contract (sequence numbers in range — the connection only sends its
+// own segments) but ACK packets carry arbitrary attacker-controlled
+// fields, exactly what a hostile or corrupted network can deliver.
+// After every operation the structural invariants must hold and a
+// replayed ACK must change nothing.
+func FuzzScoreboard(f *testing.F) {
+	f.Add([]byte{0, 0, 0, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 2})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n = 32
+		s := NewScoreboard(n)
+		next := func(k int) []byte {
+			if len(data) < k {
+				pad := make([]byte, k)
+				copy(pad, data)
+				data = nil
+				return pad
+			}
+			b := data[:k]
+			data = data[k:]
+			return b
+		}
+		i32 := func() int32 { return int32(binary.BigEndian.Uint32(next(4))) }
+		for len(data) > 0 {
+			op := next(1)[0]
+			switch op % 4 {
+			case 0: // in-order send
+				if hs := s.HighSent(); hs+1 < n {
+					s.NoteSend(hs+1, false)
+				}
+			case 1: // retransmission of an arbitrary in-range segment
+				s.NoteSend(int32(op/4)%n, true)
+			case 2: // adversarial ACK: every field attacker-controlled
+				pkt := &netem.Packet{Kind: netem.KindAck, CumAck: i32(), AckedSeq: -1}
+				nb := int(next(1)[0]) % (netem.MaxSACKBlocks + 1)
+				for b := 0; b < nb; b++ {
+					pkt.SACK[pkt.NumSACK] = netem.SeqRange{Lo: i32(), Hi: i32()}
+					pkt.NumSACK++
+				}
+				s.Update(pkt)
+				up := s.Update(pkt) // replay must be a pure no-op
+				if !up.Duplicate {
+					t.Fatal("replayed ACK was not reported as duplicate")
+				}
+			case 3: // loss marking plus the full query surface
+				s.MarkOutstandingLost()
+				s.NextLost(s.CumAck(), 3, 2)
+				s.Holes()
+				s.HighestUnacked()
+			}
+			if s.CumAck() < 0 || s.CumAck() > n {
+				t.Fatalf("CumAck %d outside [0,%d]", s.CumAck(), n)
+			}
+			if s.HighSent() < -1 || s.HighSent() >= n {
+				t.Fatalf("HighSent %d outside [-1,%d)", s.HighSent(), n)
+			}
+			if s.SackedAboveCum() < 0 || s.SackedAboveCum() > n-s.CumAck() {
+				t.Fatalf("SackedAboveCum %d impossible with CumAck %d", s.SackedAboveCum(), s.CumAck())
+			}
+			if p := s.Pipe(3); p < 0 {
+				t.Fatalf("negative pipe %d", p)
+			}
+			for seq := int32(0); seq < s.CumAck(); seq++ {
+				if !s.IsAcked(seq) {
+					t.Fatalf("seq %d below CumAck %d not acked", seq, s.CumAck())
+				}
+			}
+		}
+	})
+}

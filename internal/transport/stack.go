@@ -14,6 +14,12 @@ type Stack struct {
 	Node *netem.Node
 
 	endpoints map[netem.FlowID]packetHandler
+
+	// CorruptDropped counts corrupted control packets (ACK, SYN,
+	// SYNACK, probes) discarded on arrival — the header-CRC analogue.
+	// Corrupted DATA passes through to the flow's receiver, which
+	// verifies the end-to-end payload checksum itself.
+	CorruptDropped int64
 }
 
 type packetHandler interface {
@@ -28,6 +34,10 @@ func NewStack(net *netem.Network, node *netem.Node) *Stack {
 }
 
 func (s *Stack) deliver(pkt *netem.Packet, now sim.Time) {
+	if pkt.Corrupted && pkt.Kind != netem.KindData {
+		s.CorruptDropped++
+		return
+	}
 	ep, ok := s.endpoints[pkt.Flow]
 	if !ok {
 		// Packets for torn-down flows (e.g. a retransmitted final ACK)

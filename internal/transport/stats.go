@@ -51,6 +51,14 @@ type FlowStats struct {
 	// DupDataAtReceiver counts data packets the receiver already held —
 	// the bandwidth overhead of aggression, visible at the far end.
 	DupDataAtReceiver int64
+	// ChecksumDrops counts data segments the receiver discarded because
+	// their payload checksum failed (in-flight corruption).
+	ChecksumDrops int64
+	// PayloadSumRecv is the XOR fold of the payload checksums of every
+	// distinct segment the receiver accepted. For a complete,
+	// uncorrupted flow it equals Conn.ExpectedPayloadSum(); see
+	// checksum.go.
+	PayloadSumRecv uint64
 	// LossSeen reports whether the sender ever inferred or timed out on
 	// a loss, or the receiver observed a sequence hole; used to split
 	// the population for Fig. 8.
