@@ -25,6 +25,7 @@ import (
 	"halfback/internal/netem"
 	"halfback/internal/scheme"
 	"halfback/internal/sim"
+	"halfback/internal/transport"
 	"halfback/internal/workload"
 )
 
@@ -40,6 +41,8 @@ func main() {
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		workers    = flag.Int("workers", runtime.NumCPU(), "cells to simulate concurrently; 1 forces the serial path")
 		advName    = flag.String("adversity", "none", "fault-injection preset on the bottleneck, both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
+		deadline   = flag.Duration("flowdeadline", 0, "per-flow lifetime bound; flows abort (deadline) when it elapses; 0 disables")
+		maxRetx    = flag.Int("maxretx", 0, "per-flow retransmission budget; flows abort (retx-budget) beyond it; 0 disables")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	)
@@ -105,14 +108,14 @@ func main() {
 
 	table := metrics.NewTable(
 		fmt.Sprintf("FCT sweep: %dB flows, %dMbps bottleneck, %v RTT, %dB buffer", *flowBytes, *rateMbps, *rttArg, *bufBytes),
-		"scheme", "utilization_%", "flows", "mean_fct_ms", "p50_ms", "p99_ms", "mean_norm_retx", "completion")
+		"scheme", "utilization_%", "flows", "mean_fct_ms", "p50_ms", "p99_ms", "mean_norm_retx", "completion", "aborted")
 	// Every (scheme, utilization) cell is an independent universe; fan
 	// them out and add the rows back in sweep order.
 	rows, err := fleet.Map(*workers, len(names)*len(utils), func(i int) string {
 		return fmt.Sprintf("%s @%.0f%%", names[i/len(utils)], utils[i%len(utils)]*100)
 	}, func(i int) ([]any, error) {
 		name, util := names[i/len(utils)], utils[i%len(utils)]
-		return runCell(*seed, name, util, *flowBytes, *bufBytes, *rttArg, *rateMbps*netem.Mbps, *horizon, adv), nil
+		return runCell(*seed, name, util, *flowBytes, *bufBytes, *rttArg, *rateMbps*netem.Mbps, *horizon, adv, *deadline, *maxRetx), nil
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fctsweep: %v\n", err)
@@ -125,11 +128,14 @@ func main() {
 }
 
 func runCell(seed uint64, name string, util float64, flowBytes, bufBytes int,
-	rtt time.Duration, rateBps int64, horizon time.Duration, adv netem.Adversity) []any {
+	rtt time.Duration, rateBps int64, horizon time.Duration, adv netem.Adversity,
+	deadline time.Duration, maxRetx int) []any {
 	cfg := netem.DumbbellConfig{
 		Pairs: 16, BottleneckBps: rateBps, RTT: rtt, BufferBytes: bufBytes,
 	}.Defaulted()
 	s := experiment.NewDumbbellSim(seed, cfg)
+	s.Opts.FlowDeadline = sim.Duration(deadline)
+	s.Opts.MaxRetx = maxRetx
 	s.D.Bottleneck.SetAdversity(adv)
 	s.D.Reverse.SetAdversity(adv)
 	inst := scheme.MustNew(name)
@@ -146,9 +152,15 @@ func runCell(seed uint64, name string, util float64, flowBytes, bufBytes int,
 		fcts = append(fcts, st.FCT().Seconds()*1000)
 		retx = append(retx, float64(st.NormalRetx))
 	}
+	aborted := 0
+	for _, c := range s.Conns() {
+		if c.Stats.Aborted && c.Stats.AbortReason != transport.AbortExternal {
+			aborted++
+		}
+	}
 	sum := metrics.Summarize(fcts)
 	return []any{
 		name, util * 100, len(arrivals), sum.Mean, sum.Median(), sum.Percentile(99),
-		metrics.Summarize(retx).Mean, s.CompletionRate(),
+		metrics.Summarize(retx).Mean, s.CompletionRate(), aborted,
 	}
 }

@@ -37,6 +37,8 @@ func main() {
 		dropsArg   = flag.String("drop", "", "comma-separated segment numbers whose first copy is dropped")
 		seed       = flag.Uint64("seed", 1, "simulation seed")
 		advName    = flag.String("adversity", "none", "fault-injection preset on both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
+		deadline   = flag.Duration("flowdeadline", 0, "per-flow lifetime bound; the flow aborts (deadline) when it elapses; 0 disables")
+		maxRetx    = flag.Int("maxretx", 0, "per-flow retransmission budget; the flow aborts (retx-budget) beyond it; 0 disables")
 	)
 	flag.Parse()
 
@@ -54,6 +56,8 @@ func main() {
 		RateBps: *rateMbps * netem.Mbps, RTT: sim.Duration(*rtt),
 		BufferBytes: *buf, LossProb: *loss,
 	})
+	ps.Opts.FlowDeadline = sim.Duration(*deadline)
+	ps.Opts.MaxRetx = *maxRetx
 	ps.Path.Forward.SetAdversity(adv)
 	ps.Path.Back.SetAdversity(adv)
 	rec := trace.NewRecorder()
@@ -87,6 +91,9 @@ func main() {
 	fmt.Print(rec.Sequence())
 	s := rec.Summarize()
 	fmt.Printf("\ncompleted=%v fct=%v timeouts=%d\n", st.Completed, st.FCT(), st.Timeouts)
+	if st.Aborted {
+		fmt.Printf("aborted: reason=%s at=%v\n", st.AbortReason, st.AbortedAt)
+	}
 	fmt.Printf("wire: %d data sent (%d proactive, %d reactive), %d dropped, %d delivered, %d acks\n",
 		s.DataSent, s.ProactiveSent, s.ReactiveSent, s.DataDropped, s.DataDelivered, s.AcksDelivered)
 }

@@ -433,6 +433,11 @@ func (l *Logic) stepForward(now sim.Time) {
 func (l *Logic) burstProactive(now sim.Time) {
 	sc := l.c.Score
 	for seq := l.pacedHi - 1; seq >= sc.CumAck() && l.proCount < l.proBudget; seq-- {
+		// A retransmission budget can abort the flow mid-burst; stop
+		// rather than spin SendSegment no-ops across the prefix.
+		if l.c.Finished() {
+			return
+		}
 		if !sc.IsAcked(seq) {
 			l.sendProactive(seq, now)
 		}

@@ -69,6 +69,23 @@ func sweep[T any](sc Scale, n int, label func(int) string, fn func(int) T) []T {
 	return out
 }
 
+// sweepPartial is sweep for degraded-mode exhibits: universes may fail
+// (abort, stall, panic) without sinking the sweep. Failed cells come
+// back as their zero value plus a non-nil entry in the returned error
+// slice (index-aligned, nil for successes), so the exhibit can render
+// them as explicit FAILED(class) rows instead of panicking like sweep.
+// Jobs run under fleet.MapRetry, so a failure marked fleet.Retryable
+// gets one re-run before being recorded.
+func sweepPartial[T any](sc Scale, n int, label func(int) string, fn func(int) (T, error)) ([]T, []error) {
+	out, err := fleet.MapRetry(sc.Workers, fleet.Retry{Attempts: 2}, n, label,
+		func(i, attempt int) (T, error) { return fn(i) })
+	errs := make([]error, n)
+	for _, je := range fleet.JobErrors(err) {
+		errs[je.Index] = je
+	}
+	return out, errs
+}
+
 // grid is sweep over a rows×cols cell grid in row-major order — the
 // shape of almost every exhibit (schemes × operating points).
 func grid[T any](sc Scale, rows, cols int, label func(r, c int) string, fn func(r, c int) T) []T {
@@ -187,6 +204,28 @@ func (s *DumbbellSim) Run(until sim.Duration) {
 // or gave up). Use only for workloads guaranteed to drain.
 func (s *DumbbellSim) RunToCompletion() {
 	s.Sched.Run()
+}
+
+// RunSupervised executes the simulation under the sim supervision
+// layer: an event budget, a virtual-time horizon, and a stall detector
+// keyed (by default) to end-to-end packet deliveries — a universe
+// whose endpoints stop receiving anything for the stall window is
+// reported as sim.ErrStalled instead of looping until the MaxEvents
+// panic. Whatever the outcome, unfinished flows are aborted and the
+// remaining events drained before returning, so the universe ends in
+// an inspectable terminal state (conservation checks included) even
+// when it failed.
+func (s *DumbbellSim) RunSupervised(cfg sim.SuperviseConfig) error {
+	if cfg.Progress == nil {
+		net := s.D.Net
+		cfg.Progress = func() int64 { return net.DeliveredTotal }
+	}
+	err := s.Sched.RunSupervised(cfg)
+	for _, c := range s.conns {
+		c.Abort()
+	}
+	s.Sched.Run()
+	return err
 }
 
 // Conns returns every connection created, finished or not.

@@ -1,0 +1,178 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Failure classes: the taxonomy sweep supervisors report and degraded
+// exhibit output renders. Classification is structural (errors.As over
+// the whole wrapped chain), so a class survives any amount of
+// fmt.Errorf("%w") and JobError wrapping.
+//
+// The classes deliberately mirror the three ways a simulation universe
+// can fail:
+//
+//	panicked — the job's code crashed (captured panic + stack);
+//	stalled  — the run burned its budget or made no progress
+//	           (sim.StallError / sim.BudgetError);
+//	aborted  — the flow lifecycle gave up in a controlled way
+//	           (transport.AbortError);
+//	error    — anything else.
+const (
+	ClassPanicked = "panicked"
+	ClassStalled  = "stalled"
+	ClassAborted  = "aborted"
+	ClassError    = "error"
+)
+
+// classifier is the marker interface the sim and transport packages
+// implement (without fleet importing either): an error that knows its
+// own failure class.
+type classifier interface{ FailureClass() string }
+
+// Classify maps an error to its failure class, or "" for nil.
+func Classify(err error) string {
+	if err == nil {
+		return ""
+	}
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return ClassPanicked
+	}
+	var c classifier
+	if errors.As(err, &c) {
+		return c.FailureClass()
+	}
+	return ClassError
+}
+
+// PanicError is a captured job panic: the recovered value plus the
+// goroutine stack at the point of recovery.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+// Error renders "panic: <value>" followed by the captured stack, the
+// historical format of fleet panic reports.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// FailureClass marks captured panics for Classify.
+func (e *PanicError) FailureClass() string { return ClassPanicked }
+
+// retryable wraps an error a caller has judged transient — worth
+// re-running the job for. Deterministic simulation failures (a stall,
+// an abort, a panic) are never transient: the same seed reproduces
+// them, so MapRetry does not retry them unless explicitly wrapped.
+type retryable struct{ err error }
+
+func (e *retryable) Error() string { return e.err.Error() }
+func (e *retryable) Unwrap() error { return e.err }
+
+// Retryable marks err as transient for MapRetry. Nil stays nil.
+func Retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &retryable{err: err}
+}
+
+// IsRetryable reports whether err carries the Retryable marker
+// anywhere in its chain.
+func IsRetryable(err error) bool {
+	var r *retryable
+	return errors.As(err, &r)
+}
+
+// Retry configures MapRetry's per-job retry policy.
+type Retry struct {
+	// Attempts is the total number of tries per job, including the
+	// first; values below 1 mean 1 (no retry).
+	Attempts int
+	// Backoff is the wall-clock sleep before the second attempt; it
+	// doubles for each further attempt. Zero disables sleeping (retry
+	// immediately), which is right for CPU-bound simulation jobs and
+	// keeps tests fast.
+	Backoff time.Duration
+}
+
+// MapRetry is Map with bounded retry: a job whose error IsRetryable is
+// re-run (with exponential backoff) up to r.Attempts times before its
+// failure is recorded. fn receives the attempt number (0-based) so a
+// job can vary transient behaviour or log retries; determinism of the
+// merged output is unaffected because retries happen inside the job's
+// index slot.
+//
+// Non-retryable failures — including captured panics — fail
+// immediately: re-running a deterministic universe cannot change its
+// outcome.
+func MapRetry[T any](workers int, r Retry, n int, label func(int) string, fn func(i, attempt int) (T, error)) ([]T, error) {
+	attempts := r.Attempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	return Map(workers, n, label, func(i int) (T, error) {
+		var (
+			out T
+			err error
+		)
+		for a := 0; a < attempts; a++ {
+			if a > 0 && r.Backoff > 0 {
+				time.Sleep(r.Backoff << (a - 1))
+			}
+			out, err = runAttempt(i, a, fn)
+			if err == nil || !IsRetryable(err) {
+				break
+			}
+		}
+		return out, err
+	})
+}
+
+// runAttempt runs one attempt with its own panic capture, so a retryable
+// first attempt followed by a panicking second still reports the panic.
+func runAttempt[T any](i, attempt int, fn func(i, attempt int) (T, error)) (out T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			out = zero
+			err = capturePanic(r)
+		}
+	}()
+	return fn(i, attempt)
+}
+
+// JobErrors unpacks the joined error returned by Map/MapSeeded/MapRetry
+// into its individual *JobError entries, in job-index order. It returns
+// nil for a nil error, and tolerates arbitrary extra wrapping around
+// the join.
+func JobErrors(err error) []*JobError {
+	if err == nil {
+		return nil
+	}
+	var out []*JobError
+	var walk func(error)
+	walk = func(e error) {
+		if e == nil {
+			return
+		}
+		if je, ok := e.(*JobError); ok {
+			out = append(out, je)
+			return
+		}
+		switch u := e.(type) {
+		case interface{ Unwrap() []error }:
+			for _, c := range u.Unwrap() {
+				walk(c)
+			}
+		case interface{ Unwrap() error }:
+			walk(u.Unwrap())
+		}
+	}
+	walk(err)
+	return out
+}

@@ -49,6 +49,10 @@ func (e *JobError) Error() string {
 // Unwrap exposes the underlying cause to errors.Is/As.
 func (e *JobError) Unwrap() error { return e.Err }
 
+// Class returns the failure class of the underlying cause — see
+// Classify and the Class* constants.
+func (e *JobError) Class() string { return Classify(e.Err) }
+
 // Workers normalizes a requested worker count: values ≤ 0 select one
 // worker per available CPU (GOMAXPROCS); 1 forces the serial path.
 func Workers(n int) int {
@@ -62,9 +66,18 @@ func Workers(n int) int {
 // goroutines and returns the results in index order: out[i] is fn(i)'s
 // value no matter which worker ran it or when it finished.
 //
-// label, when non-nil, names job i for error reports. A job that
-// returns an error or panics contributes a zero value at its index and
-// a *JobError to the joined error; the other jobs still run.
+// label, when non-nil, names job i for error reports.
+//
+// Partial-result semantics: a failed sweep is still a valid, labelled
+// result, never a truncated one. A job that returns an error or panics
+// contributes its ZERO VALUE at its index — the returned slice always
+// has length n and every successful index holds its real result — and
+// the joined error carries one *JobError per failure (recover them
+// individually with JobErrors, or match through the join with
+// errors.Is/As). The remaining jobs always run to completion; nothing
+// is cancelled. Callers that tolerate partial results therefore index
+// the slice by the failed jobs' indices (via JobErrors) and use
+// everything else.
 func Map[T any](workers, n int, label func(int) string, fn func(int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
@@ -138,8 +151,7 @@ func runJob[T any](i int, label func(int) string, fn func(int) (T, error)) (out 
 		if r := recover(); r != nil {
 			var zero T
 			out = zero
-			err = &JobError{Index: i, Label: lbl,
-				Err: fmt.Errorf("panic: %v\n%s", r, debug.Stack())}
+			err = &JobError{Index: i, Label: lbl, Err: capturePanic(r)}
 		}
 	}()
 	out, err = fn(i)
@@ -147,4 +159,10 @@ func runJob[T any](i int, label func(int) string, fn func(int) (T, error)) (out 
 		err = &JobError{Index: i, Label: lbl, Err: err}
 	}
 	return out, err
+}
+
+// capturePanic freezes a recovered panic as a structured *PanicError
+// with the stack of the panicking goroutine.
+func capturePanic(r any) error {
+	return &PanicError{Value: r, Stack: debug.Stack()}
 }

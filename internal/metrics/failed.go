@@ -1,0 +1,26 @@
+package metrics
+
+import "fmt"
+
+// FailedCell renders a failed sweep cell as an explicit, labelled
+// entry — "FAILED(stalled)", "FAILED(panicked)" — for degraded-mode
+// exhibit output. A partial sweep stays a valid, honest result: the
+// reader sees exactly which cells died and why, instead of a silently
+// missing row or a truncated table.
+func FailedCell(class string) string {
+	if class == "" {
+		class = "unknown"
+	}
+	return "FAILED(" + class + ")"
+}
+
+// Censored annotates a sample size with how much of it was censored by
+// failures: "12/16 (4 failed)". FCT distributions over partially
+// failed sweeps carry it so a mean over survivors is never mistaken
+// for a mean over everything.
+func Censored(ok, total int) string {
+	if ok == total {
+		return fmt.Sprintf("%d/%d", ok, total)
+	}
+	return fmt.Sprintf("%d/%d (%d failed)", ok, total, total-ok)
+}

@@ -60,6 +60,16 @@ type Adversity struct {
 	// packet offered to it (packets already queued or in flight
 	// survive). Windows may overlap; each must have UpAt > DownAt.
 	Flaps []Flap
+
+	// BlackoutAt, when non-zero, kills the link permanently at that
+	// virtual time: a flap that goes down and never comes back up. It
+	// is the failure mode the flow-lifecycle layer exists for — after
+	// the blackout, every packet offered to the link is dropped
+	// forever, so only a retransmission cap, handshake cap or deadline
+	// can terminate flows crossing it. A blackout at exactly t=0 is
+	// not representable (zero disables it); use 1 (one nanosecond) for
+	// a link that is effectively dark from birth.
+	BlackoutAt sim.Time
 }
 
 // Flap is one scheduled outage window [DownAt, UpAt).
@@ -71,7 +81,7 @@ type Flap struct {
 // Enabled reports whether any knob is non-zero.
 func (a Adversity) Enabled() bool {
 	return a.ReorderProb > 0 || a.DupProb > 0 || a.CorruptProb > 0 ||
-		a.JitterProb > 0 || len(a.Flaps) > 0
+		a.JitterProb > 0 || len(a.Flaps) > 0 || a.BlackoutAt > 0
 }
 
 // validate panics on configurations that would silently misbehave.
@@ -110,6 +120,11 @@ func (l *Link) SetAdversity(adv Adversity) {
 	for _, f := range adv.Flaps {
 		l.net.sched.AtFunc(f.DownAt, linkFlapDown, l)
 		l.net.sched.AtFunc(f.UpAt, linkFlapUp, l)
+	}
+	if adv.BlackoutAt > 0 {
+		// A down transition with no matching up: the depth counter
+		// never returns to zero, so the link is dark forever after.
+		l.net.sched.AtFunc(adv.BlackoutAt, linkFlapDown, l)
 	}
 }
 

@@ -163,6 +163,39 @@ func TestAdversityFlap(t *testing.T) {
 	}
 }
 
+// TestAdversityBlackout: after BlackoutAt the link stays dark forever —
+// every later packet is a flap drop, and Down() never clears.
+func TestAdversityBlackout(t *testing.T) {
+	sched, net, a, b, l := advPair(3, LinkConfig{
+		RateBps: 10 * Mbps, Delay: sim.Millisecond, BufferCap: 1 << 20,
+	})
+	blackout := sim.Time(10 * sim.Millisecond)
+	l.SetAdversity(Adversity{BlackoutAt: blackout})
+	var delivered int64
+	b.Deliver = func(pkt *Packet, now sim.Time) { delivered++ }
+	for i := 0; i < 30; i++ {
+		seq := int32(i)
+		at := sim.Time(i) * sim.Time(sim.Millisecond)
+		sched.At(at, func(now sim.Time) {
+			net.Inject(&Packet{Kind: KindData, Src: a.ID, Dst: b.ID, Seq: seq, Size: 500}, now)
+		})
+	}
+	sched.Run()
+	if !l.Down() {
+		t.Fatal("link recovered from a permanent blackout")
+	}
+	if l.Stats.FlapDrops != 20 {
+		t.Fatalf("blackout dropped %d packets, want the 20 offered from 10ms on", l.Stats.FlapDrops)
+	}
+	if delivered != 10 {
+		t.Fatalf("delivered %d packets, want the 10 pre-blackout ones", delivered)
+	}
+	if got := net.InjectedTotal + net.DuplicatedTotal; got != net.DeliveredTotal+net.DroppedTotal {
+		t.Fatalf("conservation: injected+duplicated=%d != delivered+dropped=%d",
+			got, net.DeliveredTotal+net.DroppedTotal)
+	}
+}
+
 // TestAdversityReorderProducesReordering: with reorder enabled a
 // back-to-back train arrives out of order at least once, and with it
 // disabled it never does (FIFO property).

@@ -104,6 +104,11 @@ func (l *Logic) slowStartRecovery(now sim.Time) {
 		if guard > 4096 {
 			panic("jumpstart: slow-start recovery did not converge")
 		}
+		// The retransmission budget can abort mid-loop, after which
+		// SendSegment no-ops and the hole never clears.
+		if l.c.Finished() {
+			return
+		}
 		lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget)
 		if lost < 0 {
 			return
@@ -145,6 +150,11 @@ func (l *Logic) burstRetransmit(now sim.Time) {
 		if guard > 1<<16 {
 			panic("jumpstart: burst retransmit did not converge")
 		}
+		// See slowStartRecovery: a budget abort mid-burst must stop
+		// the burst, not spin on the un-advancing scoreboard.
+		if l.c.Finished() {
+			return
+		}
 		lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget)
 		if lost < 0 {
 			return
@@ -161,6 +171,9 @@ func (l *Logic) pumpNew(now sim.Time) {
 	}
 	sc := l.c.Score
 	for {
+		if l.c.Finished() {
+			return
+		}
 		next := sc.HighSent() + 1
 		if next >= l.c.NumSegs || next >= l.c.WindowLimit() {
 			return

@@ -282,8 +282,10 @@ func (l *Logic) tick(now sim.Time) {
 		l.c.SendSegment(next, false, false, now)
 		sent = true
 	}
-	if !sent {
-		// Nothing sendable: stop; an ACK or RTO restarts the stream.
+	if !sent || l.c.Finished() {
+		// Nothing sendable, or the send itself exhausted the flow's
+		// retransmission budget: stop. An ACK or RTO restarts the
+		// stream; a terminal flow must not leave a tick scheduled.
 		l.ticking = false
 		return
 	}

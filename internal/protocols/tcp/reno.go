@@ -166,6 +166,12 @@ func (r *Reno) pump(now sim.Time) {
 		if guard > 4096 {
 			panic("tcp: pump did not converge")
 		}
+		// A retransmission budget can abort the flow mid-loop; once
+		// terminal, SendSegment is a no-op and the scoreboard stops
+		// advancing, so looping further would spin to the guard panic.
+		if r.C.Finished() {
+			return
+		}
 		pipe := sc.Pipe(r.C.Opts.DupThresh)
 		if float64(pipe) >= r.Cwnd {
 			return

@@ -1,0 +1,128 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrStalled is matched (via errors.Is) by the *StallError a supervised
+// run returns when virtual time keeps advancing but the caller's
+// progress counter does not: the simulation is live-locked — typically
+// endless retransmission timeouts into a dead link — and would
+// otherwise loop until MaxEvents panics.
+var ErrStalled = errors.New("sim: no progress within stall window")
+
+// ErrEventBudget is matched by the *BudgetError a supervised run
+// returns when it executes its per-run event budget without draining.
+// Unlike the Scheduler.MaxEvents panic backstop, the budget is a
+// structured, recoverable failure.
+var ErrEventBudget = errors.New("sim: event budget exhausted")
+
+// StallError reports a detected stall with enough context to debug it.
+type StallError struct {
+	// At is the virtual time the stall was detected.
+	At Time
+	// LastProgress is the last virtual time the progress counter moved.
+	LastProgress Time
+	// Progress is the counter's value, frozen since LastProgress.
+	Progress int64
+	// Pending is how many events were still queued — a stalled run has
+	// work scheduled forever, it just achieves nothing with it.
+	Pending int
+}
+
+func (e *StallError) Error() string {
+	return fmt.Sprintf("sim: stalled at %v: progress counter stuck at %d since %v (%d events pending)",
+		e.At, e.Progress, e.LastProgress, e.Pending)
+}
+
+// Is makes errors.Is(err, ErrStalled) true for any StallError.
+func (e *StallError) Is(target error) bool { return target == ErrStalled }
+
+// FailureClass marks stalls for the fleet error taxonomy.
+func (e *StallError) FailureClass() string { return "stalled" }
+
+// BudgetError reports an exhausted per-run event budget.
+type BudgetError struct {
+	At     Time
+	Budget uint64
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sim: event budget %d exhausted at %v", e.Budget, e.At)
+}
+
+// Is makes errors.Is(err, ErrEventBudget) true for any BudgetError.
+func (e *BudgetError) Is(target error) bool { return target == ErrEventBudget }
+
+// FailureClass groups budget exhaustion with stalls: both mean the run
+// burned resources without converging.
+func (e *BudgetError) FailureClass() string { return "stalled" }
+
+// SuperviseConfig bounds one supervised run. The zero value of any
+// field disables that bound, so callers opt into exactly the
+// supervision they need.
+type SuperviseConfig struct {
+	// Horizon stops the run (normally, with a nil error) before any
+	// event later than this virtual time executes, advancing the clock
+	// to exactly Horizon like RunUntil.
+	Horizon Time
+
+	// EventBudget bounds how many events this call may execute; on
+	// exhaustion the run returns a *BudgetError. It is a per-run bound,
+	// unlike MaxEvents (a process-lifetime backstop that panics).
+	EventBudget uint64
+
+	// Progress, with StallWindow, enables stall detection: a monotone
+	// counter that moves whenever the simulation achieves real work —
+	// netem's Network.DeliveredTotal is the canonical choice, since a
+	// universe whose links deliver nothing can only be burning timers.
+	Progress func() int64
+
+	// StallWindow is how much virtual time may pass without Progress
+	// moving before the run gives up with a *StallError. Choose it
+	// longer than the longest legitimate quiet period (e.g. a maximally
+	// backed-off RTO) or healthy universes will be reported stalled.
+	StallWindow Duration
+}
+
+// RunSupervised executes events like Run/RunUntil but under the given
+// bounds, returning nil when the queue drains or the horizon is
+// reached, and a structured error when a bound trips. The scheduler is
+// left in a consistent state either way: the failing event queue is
+// intact, so a caller that wants a post-mortem can still inspect
+// Pending() or keep stepping manually.
+func (s *Scheduler) RunSupervised(cfg SuperviseConfig) error {
+	s.stopped = false
+	defer s.flushProcessed()
+	start := s.Processed
+	var lastVal int64
+	lastAt := s.now
+	if cfg.Progress != nil {
+		lastVal = cfg.Progress()
+	}
+	for !s.stopped {
+		next, ok := s.peek()
+		if !ok {
+			return nil // drained
+		}
+		if cfg.Horizon > 0 && next > cfg.Horizon {
+			if s.now < cfg.Horizon {
+				s.now = cfg.Horizon
+			}
+			return nil
+		}
+		if cfg.StallWindow > 0 && cfg.Progress != nil {
+			if v := cfg.Progress(); v != lastVal {
+				lastVal, lastAt = v, s.now
+			} else if next.Sub(lastAt) > cfg.StallWindow {
+				return &StallError{At: s.now, LastProgress: lastAt, Progress: lastVal, Pending: s.live}
+			}
+		}
+		if cfg.EventBudget > 0 && s.Processed-start >= cfg.EventBudget {
+			return &BudgetError{At: s.now, Budget: cfg.EventBudget}
+		}
+		s.Step()
+	}
+	return nil
+}

@@ -38,6 +38,12 @@ const (
 	stateSynSent
 	stateEstablished
 	stateDone
+	// stateAborted is the terminal failure state: the flow gave up
+	// (handshake cap, retransmission budget, deadline) or was torn down
+	// externally. Like stateDone it releases every resource the flow
+	// held — timers, endpoint registrations, receiver state — so an
+	// aborted flow leaves the scheduler drainable.
+	stateAborted
 )
 
 // Conn is one simulated connection: a sender endpoint on the source
@@ -61,13 +67,14 @@ type Conn struct {
 	Score *Scoreboard
 	RTT   RTTEstimator
 
-	state      connState
-	fcwSegs    int32
-	sentAt     []sim.Time
-	rtoTimer   sim.Timer
-	rtoBackoff int
-	synTimer   sim.Timer
-	synBackoff int
+	state         connState
+	fcwSegs       int32
+	sentAt        []sim.Time
+	rtoTimer      sim.Timer
+	rtoBackoff    int
+	synTimer      sim.Timer
+	synBackoff    int
+	deadlineTimer sim.Timer
 
 	onComplete func(*Conn)
 	recv       *receiver
@@ -125,12 +132,18 @@ func NewConn(id netem.FlowID, src, dst *Stack, flowBytes int, opts Options,
 // transmits immediately against the hinted RTT, as a TCP Fast Open-style
 // setup would after a previous connection.
 func (c *Conn) Start(now sim.Time) {
+	if c.state == stateDone || c.state == stateAborted {
+		return // torn down before launch (e.g. horizon passed)
+	}
 	if c.state != stateIdle {
 		panic("transport: Start called twice")
 	}
 	c.src.register(c.ID, sender{c})
 	c.dst.register(c.ID, c.recv)
 	c.Stats.Start = now
+	if c.Opts.FlowDeadline > 0 {
+		c.deadlineTimer = c.sched.AfterFunc(c.Opts.FlowDeadline, connDeadline, c)
+	}
 	if c.Opts.ZeroRTT {
 		hint := c.Opts.RTTHint
 		if hint <= 0 {
@@ -154,16 +167,28 @@ func (c *Conn) sendSYN(now sim.Time) {
 	c.synTimer = c.sched.AfterFunc(rto, connSynTimeout, c)
 }
 
-// connSynTimeout retransmits a lost SYN with backoff.
+// connSynTimeout retransmits a lost SYN with backoff, giving up with
+// AbortHandshakeTimeout once Options.MaxSynRetx retransmissions have
+// gone unanswered.
 func connSynTimeout(t sim.Time, arg any) {
 	c := arg.(*Conn)
 	if c.state != stateSynSent {
+		return
+	}
+	if c.Opts.MaxSynRetx > 0 && c.synBackoff >= c.Opts.MaxSynRetx {
+		c.abortWith(AbortHandshakeTimeout, t)
 		return
 	}
 	c.Stats.HandshakeRetx++
 	c.Stats.LossSeen = true
 	c.synBackoff++
 	c.sendSYN(t)
+}
+
+// connDeadline fires when Options.FlowDeadline elapses before the
+// sender learns of completion.
+func connDeadline(t sim.Time, arg any) {
+	arg.(*Conn).abortWith(AbortDeadlineExceeded, t)
 }
 
 // sendControl emits a SYN/SYNACK-style packet from one stack to another.
@@ -287,6 +312,15 @@ func (c *Conn) SendSegment(seq int32, retransmit, proactive bool, now sim.Time) 
 	if !c.rtoTimer.Pending() {
 		c.restartRTO(now)
 	}
+	// Budget check last, after the scoreboard and stats recorded the
+	// send: a protocol loop that drives several retransmissions from one
+	// event keeps observing NoteSend-advanced state for the copies that
+	// did go out, and the abort lands between sends, where every driver
+	// checks Finished.
+	if retransmit && c.Opts.MaxRetx > 0 &&
+		c.Stats.NormalRetx+c.Stats.ProactiveRetx > int64(c.Opts.MaxRetx) {
+		c.abortWith(AbortRetxBudgetExhausted, now)
+	}
 }
 
 // SendNew transmits the next never-sent segment if one exists within the
@@ -343,10 +377,10 @@ func (c *Conn) fireRTO(now sim.Time) {
 	c.Stats.Timeouts++
 	c.Stats.LossSeen = true
 	c.rtoBackoff++
-	if c.rtoBackoff > c.Opts.MaxTimeouts {
+	if c.Opts.MaxTimeouts >= 0 && c.rtoBackoff > c.Opts.MaxTimeouts {
 		// RFC 1122 R2: give up on a connection that has made no
 		// progress across many successive timeouts.
-		c.Abort()
+		c.abortWith(AbortRetxBudgetExhausted, now)
 		return
 	}
 	c.restartRTO(now)
@@ -361,6 +395,7 @@ func (c *Conn) finish(now sim.Time) {
 	c.Stats.SenderDone = now
 	c.rtoTimer.Stop()
 	c.synTimer.Stop()
+	c.deadlineTimer.Stop()
 	c.src.unregister(c.ID)
 	c.dst.unregister(c.ID)
 	if hook, ok := c.logic.(DoneHook); ok {
@@ -371,26 +406,48 @@ func (c *Conn) finish(now sim.Time) {
 	}
 }
 
-// Abort tears the connection down without completion (simulation end).
-func (c *Conn) Abort() {
-	if c.state == stateDone {
+// abortWith moves the connection to the terminal Aborted state and
+// releases everything it holds: lifecycle timers are cancelled, the
+// receiver's delayed-ACK state is reaped, both endpoint registrations
+// are dropped, and the protocol's DoneHook runs so scheme-private
+// timers die too. After abortWith returns, the flow contributes no
+// further events and the scheduler can drain.
+func (c *Conn) abortWith(reason AbortReason, now sim.Time) {
+	if c.state == stateDone || c.state == stateAborted {
 		return
 	}
 	prev := c.state
-	c.state = stateDone
+	c.state = stateAborted
+	c.Stats.Aborted = true
+	c.Stats.AbortReason = reason
+	c.Stats.AbortedAt = now
 	c.rtoTimer.Stop()
 	c.synTimer.Stop()
+	c.deadlineTimer.Stop()
+	c.recv.reap()
 	if prev == stateSynSent || prev == stateEstablished {
 		c.src.unregister(c.ID)
 		c.dst.unregister(c.ID)
 	}
 	if hook, ok := c.logic.(DoneHook); ok {
-		hook.OnDone(c.sched.Now())
+		hook.OnDone(now)
 	}
 }
 
-// Finished reports whether the sender has completed (or aborted).
-func (c *Conn) Finished() bool { return c.state == stateDone }
+// Abort tears the connection down without completion from outside the
+// protocol (simulation horizon passed, harness shutdown).
+func (c *Conn) Abort() {
+	c.abortWith(AbortExternal, c.sched.Now())
+}
+
+// Finished reports whether the sender reached a terminal state —
+// completed or aborted. Protocol send loops must check it between
+// sends: a retransmission budget can abort the flow mid-burst, after
+// which further SendSegment calls are no-ops.
+func (c *Conn) Finished() bool { return c.state == stateDone || c.state == stateAborted }
+
+// Aborted reports whether the connection ended in the Aborted state.
+func (c *Conn) Aborted() bool { return c.state == stateAborted }
 
 // Established reports whether the handshake has completed.
 func (c *Conn) Established() bool { return c.state == stateEstablished }

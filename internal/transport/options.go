@@ -45,11 +45,37 @@ type Options struct {
 	// selectively acknowledged (RFC 6675's rule with per-packet ACKs).
 	DupThresh int
 
-	// MaxTimeouts aborts the connection after this many consecutive
-	// retransmission timeouts without forward progress (RFC 1122's R2
-	// give-up, ≈15 retries in common stacks). It bounds the lifetime
-	// of unrecoverable flows.
+	// MaxTimeouts aborts the connection (AbortRetxBudgetExhausted)
+	// after this many consecutive retransmission timeouts without
+	// forward progress (RFC 1122's R2 give-up, ≈15 retries in common
+	// stacks). It bounds the lifetime of unrecoverable flows. Zero
+	// selects the default of 15; a negative value disables the give-up
+	// entirely (the historical "retry forever" behaviour, kept only so
+	// the supervision layer's stall detector can be demonstrated).
 	MaxTimeouts int
+
+	// MaxSynRetx caps SYN retransmissions: when the handshake timer
+	// would retransmit the SYN for the (MaxSynRetx+1)-th time the
+	// connection aborts with AbortHandshakeTimeout instead (cf. Linux's
+	// tcp_syn_retries, default 6 ≈ 127 s). Zero — the default — keeps
+	// the substrate's historical behaviour of retrying forever, so
+	// recorded goldens are unaffected unless a caller opts in.
+	MaxSynRetx int
+
+	// MaxRetx bounds the total number of data retransmissions
+	// (reactive and proactive copies alike) a flow may send; exceeding
+	// it aborts the connection with AbortRetxBudgetExhausted. Zero —
+	// the default — means unlimited. Unlike MaxTimeouts this budget is
+	// cumulative over the flow's lifetime, so it also catches flows
+	// that make just enough progress to keep resetting the RTO backoff
+	// while resending most of their data.
+	MaxRetx int
+
+	// FlowDeadline bounds the flow's total lifetime, measured from
+	// Start: if the sender has not learnt of completion when the
+	// deadline elapses the connection aborts with
+	// AbortDeadlineExceeded. Zero — the default — means no deadline.
+	FlowDeadline sim.Duration
 
 	// ZeroRTT skips the handshake wait, as TCP Fast Open [31] / ASAP
 	// [37] would: the sender begins transmitting at Start, using

@@ -108,6 +108,16 @@ func (r *receiver) handlePacket(pkt *netem.Packet, now sim.Time) {
 	}
 }
 
+// reap releases receiver-side state when the flow aborts: the
+// delayed-ACK timer is cancelled and the pending-ACK count cleared, so
+// a torn-down flow leaves no event in the scheduler. Completion via
+// finish deliberately does not reap — a final delayed ACK in flight at
+// completion is harmless, and recorded goldens include its events.
+func (r *receiver) reap() {
+	r.ackTimer.Stop()
+	r.unacked = 0
+}
+
 // recvAckTimeout flushes a delayed acknowledgement when the 40 ms bound
 // expires before a second packet arrives.
 func recvAckTimeout(t sim.Time, arg any) {

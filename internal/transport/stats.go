@@ -28,6 +28,15 @@ type FlowStats struct {
 	// Completed reports the flow finished before the simulation ended.
 	Completed bool
 
+	// Aborted reports the connection ended in the terminal Aborted
+	// state (lifecycle give-up or external teardown) rather than by
+	// acknowledging every byte.
+	Aborted bool
+	// AbortReason classifies the abort (AbortNone when !Aborted).
+	AbortReason AbortReason
+	// AbortedAt is the virtual time of the abort.
+	AbortedAt sim.Time
+
 	// HandshakeRTT is the SYN→SYNACK measurement the aggressive
 	// schemes pace against.
 	HandshakeRTT sim.Duration
