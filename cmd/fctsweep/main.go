@@ -7,16 +7,31 @@
 //
 //	fctsweep -schemes Halfback,JumpStart -utils 10,30,50,70
 //	fctsweep -schemes Halfback -flow 500000 -buffer 30000 -rtt 20ms
+//	fctsweep -schemes Halfback -utils 10,30 -journal run.journal
+//	fctsweep -resume run.journal
+//
+// Crash safety: with -journal every completed cell is appended to a
+// write-ahead journal before the sweep moves on. SIGINT/SIGTERM drains
+// gracefully — in-flight cells finish and are journaled, the partial
+// table renders with an INTERRUPTED footer, and the printed
+// `fctsweep -resume <journal>` command continues the run, replaying
+// journaled cells and executing only the missing ones; the final table
+// is bit-identical to an uninterrupted run. A second signal
+// force-exits. Exit codes: 0 complete, 1 partial/failed cells, 2 usage
+// errors, 130 interrupted.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"halfback/internal/experiment"
@@ -29,34 +44,120 @@ import (
 	"halfback/internal/workload"
 )
 
-func main() {
-	var (
-		schemesArg = flag.String("schemes", "Halfback,JumpStart,TCP", "comma-separated scheme names")
-		utilsArg   = flag.String("utils", "10,30,50,70", "comma-separated utilization percentages")
-		flowBytes  = flag.Int("flow", 100_000, "flow size in bytes")
-		bufBytes   = flag.Int("buffer", 115_000, "bottleneck buffer in bytes")
-		rttArg     = flag.Duration("rtt", 60*time.Millisecond, "path round-trip propagation")
-		rateMbps   = flag.Int64("rate", 15, "bottleneck rate in Mbit/s")
-		horizon    = flag.Duration("horizon", 60*time.Second, "virtual seconds of arrivals per cell")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		workers    = flag.Int("workers", runtime.NumCPU(), "cells to simulate concurrently; 1 forces the serial path")
-		advName    = flag.String("adversity", "none", "fault-injection preset on the bottleneck, both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
-		deadline   = flag.Duration("flowdeadline", 0, "per-flow lifetime bound; flows abort (deadline) when it elapses; 0 disables")
-		maxRetx    = flag.Int("maxretx", 0, "per-flow retransmission budget; flows abort (retx-budget) beyond it; 0 disables")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-	)
-	flag.Parse()
+// config is every knob of one sweep. The run-shape subset (everything
+// that influences output bytes) round-trips through the journal meta so
+// -resume reconstructs the identical sweep.
+type config struct {
+	schemes    string
+	utils      string
+	flowBytes  int
+	bufBytes   int
+	rtt        time.Duration
+	rateMbps   int64
+	horizon    time.Duration
+	seed       uint64
+	workers    int
+	adversity  string
+	deadline   time.Duration
+	maxRetx    int
+	cpuprofile string
+	memprofile string
+	journal    string
+	resume     string
+}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+// flagSet binds a fresh FlagSet to cfg so the same parser handles both
+// the real command line and the args stored in a journal's meta.
+func flagSet(cfg *config) *flag.FlagSet {
+	fs := flag.NewFlagSet("fctsweep", flag.ContinueOnError)
+	fs.StringVar(&cfg.schemes, "schemes", "Halfback,JumpStart,TCP", "comma-separated scheme names")
+	fs.StringVar(&cfg.utils, "utils", "10,30,50,70", "comma-separated utilization percentages")
+	fs.IntVar(&cfg.flowBytes, "flow", 100_000, "flow size in bytes")
+	fs.IntVar(&cfg.bufBytes, "buffer", 115_000, "bottleneck buffer in bytes")
+	fs.DurationVar(&cfg.rtt, "rtt", 60*time.Millisecond, "path round-trip propagation")
+	fs.Int64Var(&cfg.rateMbps, "rate", 15, "bottleneck rate in Mbit/s")
+	fs.DurationVar(&cfg.horizon, "horizon", 60*time.Second, "virtual seconds of arrivals per cell")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "simulation seed")
+	fs.IntVar(&cfg.workers, "workers", runtime.NumCPU(), "cells to simulate concurrently; 1 forces the serial path")
+	fs.StringVar(&cfg.adversity, "adversity", "none", "fault-injection preset on the bottleneck, both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
+	fs.DurationVar(&cfg.deadline, "flowdeadline", 0, "per-flow lifetime bound; flows abort (deadline) when it elapses; 0 disables")
+	fs.IntVar(&cfg.maxRetx, "maxretx", 0, "per-flow retransmission budget; flows abort (retx-budget) beyond it; 0 disables")
+	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&cfg.memprofile, "memprofile", "", "write an allocation profile to this file on exit")
+	fs.StringVar(&cfg.journal, "journal", "", "write-ahead cell journal for this run (must not exist yet)")
+	fs.StringVar(&cfg.resume, "resume", "", "resume a journaled run: replay its completed cells, execute the rest")
+	return fs
+}
+
+// shapeArgs renders the run-shape flags canonically for the journal
+// meta: everything that changes output bytes, nothing that doesn't
+// (workers, profiles, journal paths).
+func (c *config) shapeArgs() []string {
+	return []string{
+		"-schemes", c.schemes,
+		"-utils", c.utils,
+		"-flow", strconv.Itoa(c.flowBytes),
+		"-buffer", strconv.Itoa(c.bufBytes),
+		"-rtt", c.rtt.String(),
+		"-rate", strconv.FormatInt(c.rateMbps, 10),
+		"-horizon", c.horizon.String(),
+		"-seed", strconv.FormatUint(c.seed, 10),
+		"-adversity", c.adversity,
+		"-flowdeadline", c.deadline.String(),
+		"-maxretx", strconv.Itoa(c.maxRetx),
+	}
+}
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func fail(code int, format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "fctsweep: "+format+"\n", args...)
+	return code
+}
+
+func run(args []string) int {
+	var cfg config
+	fs := flagSet(&cfg)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	// -resume: the journal's meta is the source of truth for the run
+	// shape; only execution knobs (workers, profiles) may be overridden
+	// on the resume command line.
+	var journal *fleet.Journal
+	if cfg.resume != "" {
+		if cfg.journal != "" {
+			return fail(2, "-journal and -resume are mutually exclusive")
+		}
+		j, err := fleet.ResumeJournal(cfg.resume)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "fctsweep: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			return fail(2, "%v", err)
+		}
+		defer j.Close()
+		meta := j.Meta()
+		if meta.Tool != "fctsweep" {
+			return fail(2, "journal %s was written by %q, not fctsweep", cfg.resume, meta.Tool)
+		}
+		override := cfg // what the resume command line said
+		cfg = config{}
+		fs = flagSet(&cfg)
+		if err := fs.Parse(meta.Args); err != nil {
+			return fail(2, "journal meta args unparseable: %v", err)
+		}
+		cfg.workers = override.workers
+		cfg.cpuprofile, cfg.memprofile = override.cpuprofile, override.memprofile
+		journal = j
+		fmt.Fprintf(os.Stderr, "fctsweep: resuming %s (%d journaled cells)\n", j.Path(), j.Replayable())
+	}
+
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			return fail(1, "-cpuprofile: %v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "fctsweep: start cpu profile: %v\n", err)
-			os.Exit(1)
+			return fail(1, "start cpu profile: %v", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
@@ -64,10 +165,10 @@ func main() {
 		}()
 	}
 	defer func() {
-		if *memprofile == "" {
+		if cfg.memprofile == "" {
 			return
 		}
-		f, err := os.Create(*memprofile)
+		f, err := os.Create(cfg.memprofile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "fctsweep: -memprofile: %v\n", err)
 			return
@@ -79,52 +180,135 @@ func main() {
 		}
 	}()
 
-	if *workers < 1 {
-		fmt.Fprintln(os.Stderr, "fctsweep: -workers must be ≥ 1")
-		os.Exit(2)
+	if cfg.workers < 1 {
+		return fail(2, "-workers must be ≥ 1")
 	}
 	var utils []float64
-	for _, f := range strings.Split(*utilsArg, ",") {
+	for _, f := range strings.Split(cfg.utils, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
 		if err != nil || v <= 0 || v > 100 {
-			fmt.Fprintf(os.Stderr, "fctsweep: bad utilization %q\n", f)
-			os.Exit(2)
+			return fail(2, "bad utilization %q", f)
 		}
 		utils = append(utils, v/100)
 	}
-	names := strings.Split(*schemesArg, ",")
+	names := strings.Split(cfg.schemes, ",")
 	for i := range names {
 		names[i] = strings.TrimSpace(names[i])
 		if _, err := scheme.New(names[i]); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 	}
-	adv, err := netem.AdversityPreset(*advName)
+	adv, err := netem.AdversityPreset(cfg.adversity)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fctsweep:", err)
-		os.Exit(2)
+		return fail(2, "%v", err)
 	}
 
+	if cfg.journal != "" {
+		j, err := fleet.CreateJournal(cfg.journal, fleet.JournalMeta{
+			Tool: "fctsweep", Seed: cfg.seed, Args: cfg.shapeArgs(),
+		})
+		if err != nil {
+			return fail(2, "%v", err)
+		}
+		defer j.Close()
+		journal = j
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	installSignalHandler(cancel)
+
 	table := metrics.NewTable(
-		fmt.Sprintf("FCT sweep: %dB flows, %dMbps bottleneck, %v RTT, %dB buffer", *flowBytes, *rateMbps, *rttArg, *bufBytes),
+		fmt.Sprintf("FCT sweep: %dB flows, %dMbps bottleneck, %v RTT, %dB buffer", cfg.flowBytes, cfg.rateMbps, cfg.rtt, cfg.bufBytes),
 		"scheme", "utilization_%", "flows", "mean_fct_ms", "p50_ms", "p99_ms", "mean_norm_retx", "completion", "aborted")
 	// Every (scheme, utilization) cell is an independent universe; fan
 	// them out and add the rows back in sweep order.
-	rows, err := fleet.Map(*workers, len(names)*len(utils), func(i int) string {
-		return fmt.Sprintf("%s @%.0f%%", names[i/len(utils)], utils[i%len(utils)]*100)
-	}, func(i int) ([]any, error) {
-		name, util := names[i/len(utils)], utils[i%len(utils)]
-		return runCell(*seed, name, util, *flowBytes, *bufBytes, *rttArg, *rateMbps*netem.Mbps, *horizon, adv, *deadline, *maxRetx), nil
+	n := len(names) * len(utils)
+	cell := func(i int) (string, float64) { return names[i/len(utils)], utils[i%len(utils)] }
+	fleetRun := &fleet.Run{Journal: journal}
+	rows, err := fleet.MapOpts(fleet.Options{
+		Ctx: ctx, Workers: cfg.workers, Run: fleetRun,
+		Label: func(i int) string {
+			name, util := cell(i)
+			return fmt.Sprintf("%s @%.0f%%", name, util*100)
+		},
+	}, n, func(i, attempt int) ([]any, error) {
+		name, util := cell(i)
+		return runCell(cfg.seed, name, util, cfg.flowBytes, cfg.bufBytes, cfg.rtt,
+			cfg.rateMbps*netem.Mbps, cfg.horizon, adv, cfg.deadline, cfg.maxRetx), nil
 	})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "fctsweep: %v\n", err)
-		os.Exit(1)
+
+	// Render every cell honestly: real rows for completed cells,
+	// FAILED(class) rows for crashed ones, nothing for cells a drain
+	// skipped (they are still pending, not failed).
+	cellErr := make([]error, n)
+	for _, je := range fleet.JobErrors(err) {
+		cellErr[je.Index] = je
 	}
-	for _, row := range rows {
-		table.AddRow(row...)
+	failed := 0
+	for i, row := range rows {
+		switch {
+		case cellErr[i] == nil:
+			table.AddRow(row...)
+		case fleet.Classify(cellErr[i]) == fleet.ClassCanceled:
+			// skipped by the drain
+		default:
+			failed++
+			name, util := cell(i)
+			table.AddRow(name, util*100, "-", metrics.FailedCell(fleet.Classify(cellErr[i])),
+				"-", "-", "-", "-", "-")
+		}
+	}
+
+	interrupted := fleet.Interrupted(err) || ctx.Err() != nil
+	if interrupted {
+		done := n
+		for _, e := range cellErr {
+			if e != nil {
+				done--
+			}
+		}
+		table.Footer = fmt.Sprintf("INTERRUPTED: %d/%d cells complete — %s", done, n, resumeHint(journal))
 	}
 	table.WriteTo(os.Stdout)
+
+	for _, e := range fleet.JobErrors(err) {
+		if fleet.Classify(e) != fleet.ClassCanceled {
+			fmt.Fprintf(os.Stderr, "fctsweep: %v\n", e)
+		}
+	}
+	switch {
+	case interrupted:
+		return 130
+	case failed > 0:
+		return 1
+	}
+	return 0
+}
+
+// resumeHint names the command that continues this run, or says why it
+// cannot be continued.
+func resumeHint(j *fleet.Journal) string {
+	if j == nil {
+		return "run with -journal to make sweeps resumable"
+	}
+	return fmt.Sprintf("resume with: fctsweep -resume %s", j.Path())
+}
+
+// installSignalHandler wires cooperative cancellation: the first
+// SIGINT/SIGTERM cancels the sweep context (in-flight cells drain and
+// are journaled), a second one force-exits.
+func installSignalHandler(cancel context.CancelFunc) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "fctsweep: interrupt — draining in-flight cells (signal again to force-quit)")
+		cancel()
+		<-ch
+		os.Exit(130)
+	}()
 }
 
 func runCell(seed uint64, name string, util float64, flowBytes, bufBytes int,

@@ -9,11 +9,25 @@
 //	halfback-sim -fig 10 -workers 1     # force the serial sweep path
 //	halfback-sim -benchjson -scale 0.05 # per-exhibit perf JSON (BENCH_<date>.json)
 //	halfback-sim -fig 6 -cpuprofile cpu.out -memprofile mem.out
+//	halfback-sim -fig 6 -journal run.journal   # crash-safe run
+//	halfback-sim -resume run.journal           # continue a killed run
+//	halfback-sim -repro run.journal.s0c8.repro.json  # replay one failed cell
 //
 // Output goes to stdout; each exhibit renders one or more tables whose
 // rows are the data series of the corresponding figure. Sweeps fan
 // their simulation universes out across -workers goroutines (default:
 // one per CPU); the output is bit-identical for every worker count.
+//
+// Crash safety: -journal appends every completed cell to a write-ahead
+// journal before the sweep moves on, and -resume replays those cells
+// instead of re-executing them — the resumed output is bit-identical
+// to an uninterrupted run because every cell derives all randomness
+// from its own seed. SIGINT/SIGTERM drains gracefully (in-flight cells
+// finish and are journaled, a partial progress table renders with an
+// INTERRUPTED footer and the -resume command); a second signal
+// force-exits. Failed cells drop a self-contained repro bundle next to
+// the journal; -repro re-executes exactly that cell. Exit codes: 0
+// complete, 1 partial/failed, 2 usage errors, 130 interrupted.
 //
 // -benchjson runs each selected exhibit once and records wall ns/op,
 // allocs/op, bytes/op and scheduler events/sec into a JSON file,
@@ -22,15 +36,21 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
+	"syscall"
 	"time"
 
 	"halfback/internal/experiment"
+	"halfback/internal/fleet"
+	"halfback/internal/metrics"
 	"halfback/internal/sim"
 )
 
@@ -57,110 +77,321 @@ type benchFile struct {
 	Exhibits   []benchExhibit `json:"exhibits"`
 }
 
-func main() {
-	var (
-		fig        = flag.String("fig", "", "exhibit to regenerate: 1,2,5..17,table1 or 'all'")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		scale      = flag.Float64("scale", 1.0, "scale factor in (0,1]: trial counts and horizons shrink proportionally")
-		workers    = flag.Int("workers", runtime.NumCPU(), "simulation universes to run concurrently; 1 forces the serial path")
-		list       = flag.Bool("list", false, "list available exhibits")
-		csv        = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		benchjson  = flag.Bool("benchjson", false, "benchmark the selected exhibits (default: all) and write per-exhibit ns/op, allocs/op and events/sec as JSON")
-		benchout   = flag.String("benchout", "", "benchmark JSON output path (default BENCH_<date>.json)")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write an allocation profile to this file on exit")
-	)
-	flag.Parse()
+// config is every flag of one invocation. The run-shape subset (fig,
+// seed, scale, csv — everything that changes output bytes) round-trips
+// through the journal meta so -resume reconstructs the identical run.
+type config struct {
+	fig        string
+	seed       uint64
+	scale      float64
+	workers    int
+	list       bool
+	csv        bool
+	benchjson  bool
+	benchout   string
+	cpuprofile string
+	memprofile string
+	journal    string
+	resume     string
+	repro      string
+}
 
-	if *list || (*fig == "" && !*benchjson) {
+func flagSet(cfg *config) *flag.FlagSet {
+	fs := flag.NewFlagSet("halfback-sim", flag.ContinueOnError)
+	fs.StringVar(&cfg.fig, "fig", "", "exhibit to regenerate: 1,2,5..17,table1 or 'all'")
+	fs.Uint64Var(&cfg.seed, "seed", 1, "simulation seed")
+	fs.Float64Var(&cfg.scale, "scale", 1.0, "scale factor in (0,1]: trial counts and horizons shrink proportionally")
+	fs.IntVar(&cfg.workers, "workers", runtime.NumCPU(), "simulation universes to run concurrently; 1 forces the serial path")
+	fs.BoolVar(&cfg.list, "list", false, "list available exhibits")
+	fs.BoolVar(&cfg.csv, "csv", false, "emit CSV instead of aligned tables")
+	fs.BoolVar(&cfg.benchjson, "benchjson", false, "benchmark the selected exhibits (default: all) and write per-exhibit ns/op, allocs/op and events/sec as JSON")
+	fs.StringVar(&cfg.benchout, "benchout", "", "benchmark JSON output path (default BENCH_<date>.json)")
+	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&cfg.memprofile, "memprofile", "", "write an allocation profile to this file on exit")
+	fs.StringVar(&cfg.journal, "journal", "", "write-ahead cell journal for this run (must not exist yet)")
+	fs.StringVar(&cfg.resume, "resume", "", "resume a journaled run: replay its completed cells, execute the rest")
+	fs.StringVar(&cfg.repro, "repro", "", "replay one failed cell from its repro bundle (written next to the journal)")
+	return fs
+}
+
+// shapeArgs renders the run-shape flags canonically for the journal
+// meta: everything that changes output bytes, nothing that doesn't
+// (workers, profiles, journal paths).
+func (c *config) shapeArgs() []string {
+	args := []string{
+		"-fig", c.fig,
+		"-seed", strconv.FormatUint(c.seed, 10),
+		"-scale", strconv.FormatFloat(c.scale, 'g', -1, 64),
+	}
+	if c.csv {
+		args = append(args, "-csv")
+	}
+	return args
+}
+
+func main() { os.Exit(run(os.Args[1:])) }
+
+func fail(code int, format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, "halfback-sim: "+format+"\n", args...)
+	return code
+}
+
+func run(args []string) int {
+	var cfg config
+	fs := flagSet(&cfg)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if cfg.repro != "" {
+		return runRepro(cfg.repro)
+	}
+
+	var journal *fleet.Journal
+	if cfg.resume != "" {
+		if cfg.journal != "" {
+			return fail(2, "-journal and -resume are mutually exclusive")
+		}
+		j, err := fleet.ResumeJournal(cfg.resume)
+		if err != nil {
+			return fail(2, "%v", err)
+		}
+		defer j.Close()
+		meta := j.Meta()
+		if meta.Tool != "halfback-sim" {
+			return fail(2, "journal %s was written by %q, not halfback-sim", cfg.resume, meta.Tool)
+		}
+		override := cfg
+		cfg = config{}
+		fs = flagSet(&cfg)
+		if err := fs.Parse(meta.Args); err != nil {
+			return fail(2, "journal meta args unparseable: %v", err)
+		}
+		cfg.workers = override.workers
+		cfg.cpuprofile, cfg.memprofile = override.cpuprofile, override.memprofile
+		journal = j
+		fmt.Fprintf(os.Stderr, "halfback-sim: resuming %s (%d journaled cells)\n", j.Path(), j.Replayable())
+	}
+
+	if cfg.list || (cfg.fig == "" && !cfg.benchjson) {
 		fmt.Println("available exhibits:")
 		for _, e := range experiment.Registry() {
 			fmt.Printf("  %-7s %s\n", e.ID, e.Title)
 		}
-		if *fig == "" && !*list && !*benchjson {
-			os.Exit(2)
+		if cfg.fig == "" && !cfg.list && !cfg.benchjson {
+			return 2
 		}
-		return
+		return 0
 	}
-	if *scale <= 0 || *scale > 1 {
-		fmt.Fprintln(os.Stderr, "halfback-sim: -scale must be in (0,1]")
-		os.Exit(2)
+	if cfg.scale <= 0 || cfg.scale > 1 {
+		return fail(2, "-scale must be in (0,1]")
 	}
-	if *workers < 1 {
-		fmt.Fprintln(os.Stderr, "halfback-sim: -workers must be ≥ 1")
-		os.Exit(2)
+	if cfg.workers < 1 {
+		return fail(2, "-workers must be ≥ 1")
 	}
-	sc := experiment.Scale{Trials: *scale, Horizon: *scale, Workers: *workers}
 
 	var entries []experiment.Entry
-	if *fig == "all" || (*fig == "" && *benchjson) {
+	if cfg.fig == "all" || (cfg.fig == "" && cfg.benchjson) {
 		entries = experiment.Registry()
 	} else {
-		e, err := experiment.Lookup(*fig)
+		e, err := experiment.Lookup(cfg.fig)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		entries = []experiment.Entry{e}
 	}
 
-	if *cpuprofile != "" {
-		f, err := os.Create(*cpuprofile)
+	if cfg.journal != "" {
+		if cfg.benchjson {
+			return fail(2, "-journal does not apply to -benchjson runs")
+		}
+		j, err := fleet.CreateJournal(cfg.journal, fleet.JournalMeta{
+			Tool: "halfback-sim", Exhibit: cfg.fig, Seed: cfg.seed, Args: cfg.shapeArgs(),
+		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "halfback-sim: -cpuprofile: %v\n", err)
-			os.Exit(1)
+			return fail(2, "%v", err)
+		}
+		defer j.Close()
+		journal = j
+	}
+
+	if cfg.cpuprofile != "" {
+		f, err := os.Create(cfg.cpuprofile)
+		if err != nil {
+			return fail(1, "-cpuprofile: %v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fmt.Fprintf(os.Stderr, "halfback-sim: start cpu profile: %v\n", err)
-			os.Exit(1)
+			return fail(1, "start cpu profile: %v", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
 			f.Close()
 		}()
 	}
-	defer writeMemProfile(*memprofile)
+	defer writeMemProfile(cfg.memprofile)
 
-	if *benchjson {
-		if err := runBench(entries, *seed, sc, *scale, *benchout); err != nil {
-			fmt.Fprintf(os.Stderr, "halfback-sim: %v\n", err)
-			os.Exit(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	installSignalHandler(cancel)
+
+	sc := experiment.Scale{Trials: cfg.scale, Horizon: cfg.scale, Workers: cfg.workers, Ctx: ctx}
+	if journal != nil {
+		sc.Run = &fleet.Run{Journal: journal}
+	}
+
+	if cfg.benchjson {
+		code, err := runBench(ctx, entries, cfg.seed, sc, cfg.scale, cfg.benchout)
+		if err != nil {
+			return fail(1, "%v", err)
 		}
-		return
+		return code
 	}
 
 	failed := false
 	for _, e := range entries {
 		start := time.Now()
-		fmt.Printf("=== exhibit %s: %s (seed=%d scale=%g workers=%d)\n", e.ID, e.Title, *seed, *scale, *workers)
-		res, err := runExhibit(e, *seed, sc)
+		fmt.Printf("=== exhibit %s: %s (seed=%d scale=%g workers=%d)\n", e.ID, e.Title, cfg.seed, cfg.scale, cfg.workers)
+		res, err := runExhibit(e, cfg.seed, sc)
+		if ctx.Err() != nil {
+			// Graceful drain: in-flight cells finished and were
+			// journaled. Render what the run completed, point at the
+			// resume command, and use the interrupt exit code.
+			renderInterrupted(journal, e.ID)
+			return 130
+		}
 		if err != nil {
 			// A crashed universe surfaces as a labelled job error after
 			// the rest of the sweep completed; report it and keep going
 			// with the remaining exhibits.
 			fmt.Fprintf(os.Stderr, "halfback-sim: exhibit %s failed: %v\n", e.ID, err)
+			reportBundles(journal)
 			failed = true
 			continue
 		}
 		for _, t := range res.Tables() {
-			if *csv {
+			if cfg.csv {
 				fmt.Printf("# %s\n%s\n", t.Title, t.CSV())
 			} else {
 				t.WriteTo(os.Stdout)
 				fmt.Println()
 			}
 		}
+		reportBundles(journal)
 		fmt.Printf("=== exhibit %s done in %v\n\n", e.ID, time.Since(start).Round(time.Millisecond))
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
+}
+
+// renderInterrupted prints the partial progress table of a drained run:
+// per-sweep completion counters from the journal, an INTERRUPTED footer
+// and the command that continues the run.
+func renderInterrupted(j *fleet.Journal, exhibitID string) {
+	t := metrics.NewTable(fmt.Sprintf("Exhibit %s: interrupted run state", exhibitID),
+		"sweep", "cells_done", "cells_failed", "cells_total")
+	done, total := 0, 0
+	if j != nil {
+		for _, p := range j.Progress() {
+			t.AddRow(int(p.Sweep), p.Done, p.Failed, p.Total)
+			done += p.Done
+			total += p.Total
+		}
+	}
+	hint := "run with -journal to make sweeps resumable"
+	if j != nil {
+		hint = fmt.Sprintf("resume with: halfback-sim -resume %s", j.Path())
+	}
+	t.Footer = fmt.Sprintf("INTERRUPTED: %d/%d cells journaled — %s", done, total, hint)
+	t.WriteTo(os.Stdout)
+}
+
+// reportBundles names the repro bundles failed cells dropped, with the
+// command that replays each.
+func reportBundles(j *fleet.Journal) {
+	if j == nil {
+		return
+	}
+	for _, path := range j.Bundles() {
+		fmt.Fprintf(os.Stderr, "halfback-sim: repro bundle written: replay with halfback-sim -repro %s\n", path)
+	}
+}
+
+// runRepro replays exactly one failed cell from its bundle: the same
+// exhibit, seed and scale, with every other cell of the run skipped.
+// Exit 1 when the failure reproduces, 0 when the cell now completes.
+func runRepro(path string) int {
+	b, err := fleet.LoadReproBundle(path)
+	if err != nil {
+		return fail(2, "%v", err)
+	}
+	if b.Meta.Tool != "halfback-sim" {
+		return fail(2, "bundle %s was written by %q; replay it with that tool", path, b.Meta.Tool)
+	}
+	var cfg config
+	if err := flagSet(&cfg).Parse(b.Meta.Args); err != nil {
+		return fail(2, "bundle meta args unparseable: %v", err)
+	}
+	e, err := experiment.Lookup(cfg.fig)
+	if err != nil {
+		return fail(2, "bundle exhibit: %v", err)
+	}
+	fmt.Printf("=== repro: exhibit %s sweep %d cell %d (%s), seed=%d scale=%g\n",
+		cfg.fig, b.Sweep, b.Cell, b.Label, cfg.seed, cfg.scale)
+	fmt.Printf("=== recorded failure: %s: %s\n", b.Class, firstLine(b.Error))
+
+	target := &fleet.CellTarget{Sweep: b.Sweep, Cell: b.Cell}
+	sc := experiment.Scale{
+		Trials: cfg.scale, Horizon: cfg.scale, Workers: 1,
+		Run: &fleet.Run{Target: target},
+	}
+	_, _ = runExhibit(e, cfg.seed, sc) // cell outcome is read off the target
+	ran, cellErr := target.Outcome()
+	switch {
+	case !ran:
+		return fail(1, "cell s%dc%d never executed — bundle does not match exhibit %s at scale %g",
+			b.Sweep, b.Cell, cfg.fig, cfg.scale)
+	case cellErr != nil:
+		fmt.Printf("=== reproduced: %s: %v\n", fleet.Classify(cellErr), cellErr)
+		return 1
+	default:
+		fmt.Println("=== cell completed cleanly: the recorded failure did not reproduce")
+		return 0
+	}
+}
+
+// firstLine truncates multi-line error text (panic stacks) for the
+// repro banner; the full text prints if the failure reproduces.
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i] + " ..."
+		}
+	}
+	return s
+}
+
+// installSignalHandler wires cooperative cancellation: the first
+// SIGINT/SIGTERM cancels the sweep context (in-flight cells drain and
+// are journaled), a second one force-exits.
+func installSignalHandler(cancel context.CancelFunc) {
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		fmt.Fprintln(os.Stderr, "halfback-sim: interrupt — draining in-flight cells (signal again to force-quit)")
+		cancel()
+		<-ch
+		os.Exit(130)
+	}()
 }
 
 // runBench measures each exhibit once — wall time, allocations
 // (process-wide MemStats deltas around the run) and scheduler events —
 // and writes the benchmark JSON.
-func runBench(entries []experiment.Entry, seed uint64, sc experiment.Scale, scale float64, outPath string) error {
+func runBench(ctx context.Context, entries []experiment.Entry, seed uint64, sc experiment.Scale, scale float64, outPath string) (int, error) {
 	doc := benchFile{
 		Date:       time.Now().Format("2006-01-02"),
 		GOOS:       runtime.GOOS,
@@ -175,12 +406,18 @@ func runBench(entries []experiment.Entry, seed uint64, sc experiment.Scale, scal
 	}
 	var m0, m1 runtime.MemStats
 	for _, e := range entries {
+		if ctx.Err() != nil {
+			return 130, nil
+		}
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
 		ev0 := sim.ProcessedTotal()
 		start := time.Now()
 		if _, err := runExhibit(e, seed, sc); err != nil {
-			return fmt.Errorf("exhibit %s: %w", e.ID, err)
+			if ctx.Err() != nil {
+				return 130, nil
+			}
+			return 1, fmt.Errorf("exhibit %s: %w", e.ID, err)
 		}
 		elapsed := time.Since(start)
 		runtime.ReadMemStats(&m1)
@@ -202,14 +439,14 @@ func runBench(entries []experiment.Entry, seed uint64, sc experiment.Scale, scal
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {
-		return err
+		return 1, err
 	}
 	buf = append(buf, '\n')
 	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
-		return err
+		return 1, err
 	}
 	fmt.Printf("wrote %s (%d exhibits)\n", outPath, len(doc.Exhibits))
-	return nil
+	return 0, nil
 }
 
 // writeMemProfile dumps an allocation profile if -memprofile was given.

@@ -26,10 +26,20 @@ type Fig3Result struct {
 // fig3Bytes is ten full segments.
 const fig3Bytes = 10 * netem.SegmentPayload
 
-// Fig3 runs the walkthrough.
-func Fig3(seed uint64, _ Scale) *Fig3Result {
-	res := &Fig3Result{}
+// fig3Cell is one scheme's run of the walkthrough — the unit the fleet
+// engine executes, journals and replays. Only the Halfback cell records
+// a trace, so Seq/Summary are zero for the TCP cell.
+type fig3Cell struct {
+	Stats   *transport.FlowStats
+	Seq     string
+	Summary trace.Summary
+}
 
+// Fig3 runs the walkthrough. Both schemes are independent universes on
+// the same seed, so they run as a two-cell sweep: the exhibit inherits
+// the engine's crash-safety (journaling, resume, repro) and renders
+// identically for every worker count.
+func Fig3(seed uint64, sc Scale) *Fig3Result {
 	runOne := func(name string, record bool) (*transport.FlowStats, *trace.Recorder) {
 		ps := NewPathSim(seed, netem.PathConfig{
 			RateBps: 15 * netem.Mbps, RTT: 60 * sim.Millisecond, BufferBytes: 115_000,
@@ -54,12 +64,24 @@ func Fig3(seed uint64, _ Scale) *Fig3Result {
 		return st, rec
 	}
 
-	var rec *trace.Recorder
-	res.HalfbackStats, rec = runOne(scheme.Halfback, true)
-	res.HalfbackSeq = rec.Sequence()
-	res.HalfbackSummary = rec.Summarize()
-	res.TCPStats, _ = runOne(scheme.TCP, false)
-	return res
+	names := []string{scheme.Halfback, scheme.TCP}
+	cells := sweep(sc, len(names), func(i int) string {
+		return "fig3 scheme " + names[i]
+	}, func(i int) fig3Cell {
+		st, rec := runOne(names[i], i == 0)
+		c := fig3Cell{Stats: st}
+		if rec != nil {
+			c.Seq = rec.Sequence()
+			c.Summary = rec.Summarize()
+		}
+		return c
+	})
+	return &Fig3Result{
+		HalfbackSeq:     cells[0].Seq,
+		HalfbackSummary: cells[0].Summary,
+		HalfbackStats:   cells[0].Stats,
+		TCPStats:        cells[1].Stats,
+	}
 }
 
 // Tables renders the walkthrough.

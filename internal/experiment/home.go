@@ -37,9 +37,11 @@ func Fig9(seed uint64, sc Scale) *Fig9Result {
 		specs[i] = workload.HomePopulation(rng.ForkNamed(profile.Name), profile, servers)
 	}
 
+	// Exported fields: fetch cells ride the gob-encoded result journal
+	// when the run is crash-safe (DESIGN.md §9).
 	type fetch struct {
-		completed bool
-		fctMs     float64
+		Completed bool
+		FctMs     float64
 	}
 	fetches := grid(sc, len(profiles)*servers, len(schemes), func(r, si int) string {
 		return fmt.Sprintf("fig9 %s server %d scheme %s", profiles[r/servers].Name, r%servers, schemes[si])
@@ -47,7 +49,7 @@ func Fig9(seed uint64, sc Scale) *Fig9Result {
 		pi := r % servers
 		ps := NewPathSim(seed^uint64(pi*977+si+13), specs[r/servers][pi].ToConfig())
 		st := ps.FetchOnce(scheme.MustNew(schemes[si]), PlanetLabFlowBytes, 120*sim.Second)
-		return fetch{completed: st.Completed, fctMs: st.FCT().Seconds() * 1000}
+		return fetch{Completed: st.Completed, FctMs: st.FCT().Seconds() * 1000}
 	})
 
 	for i, profile := range profiles {
@@ -55,8 +57,8 @@ func Fig9(seed uint64, sc Scale) *Fig9Result {
 		for pi := 0; pi < servers; pi++ {
 			for si, name := range schemes {
 				f := fetches[(i*servers+pi)*len(schemes)+si]
-				if f.completed {
-					per[name] = append(per[name], f.fctMs)
+				if f.Completed {
+					per[name] = append(per[name], f.FctMs)
 				}
 			}
 		}

@@ -122,7 +122,9 @@ func Fig13(seed uint64, sc Scale) *Fig13Result {
 	}
 
 	// Column 0 is the all-TCP baseline; column 1+i is schemes[i].
-	type cell struct{ shortMs, longMs float64 }
+	// Exported fields: cells ride the gob-encoded result journal when
+	// the run is crash-safe (DESIGN.md §9).
+	type cell struct{ ShortMs, LongMs float64 }
 	cellScheme := func(ci int) string {
 		if ci == 0 {
 			return scheme.TCP
@@ -133,7 +135,7 @@ func Fig13(seed uint64, sc Scale) *Fig13Result {
 		return fmt.Sprintf("fig13 %s @%.0f%%", cellScheme(ci), utils[ui]*100)
 	}, func(ui, ci int) cell {
 		s, l := runFig13Cell(seed, cellScheme(ci), schedules[ui], horizon)
-		return cell{shortMs: s, longMs: l}
+		return cell{ShortMs: s, LongMs: l}
 	})
 
 	cols := 1 + len(schemes)
@@ -143,13 +145,13 @@ func Fig13(seed uint64, sc Scale) *Fig13Result {
 			c := cells[ui*cols+1+i]
 			pt := Fig13Point{
 				Scheme: name, Utilization: util,
-				ShortMeanMs: c.shortMs, LongMeanMs: c.longMs,
+				ShortMeanMs: c.ShortMs, LongMeanMs: c.LongMs,
 			}
-			if base.shortMs > 0 {
-				pt.ShortNormalized = c.shortMs / base.shortMs
+			if base.ShortMs > 0 {
+				pt.ShortNormalized = c.ShortMs / base.ShortMs
 			}
-			if base.longMs > 0 {
-				pt.LongNormalized = c.longMs / base.longMs
+			if base.LongMs > 0 {
+				pt.LongNormalized = c.LongMs / base.LongMs
 			}
 			res.Points = append(res.Points, pt)
 		}
@@ -231,7 +233,7 @@ func Fig14(seed uint64, sc Scale) *Fig14Result {
 			horizon)
 	}
 
-	type cell struct{ homog, mixTCP, mixScheme, jain float64 }
+	type cell struct{ Homog, MixTCP, MixScheme, Jain float64 }
 	cells := grid(sc, len(utils), 1+2*len(schemes), func(ui, ci int) string {
 		switch {
 		case ci == 0:
@@ -244,27 +246,27 @@ func Fig14(seed uint64, sc Scale) *Fig14Result {
 	}, func(ui, ci int) cell {
 		switch {
 		case ci == 0:
-			return cell{homog: runFig14Homogeneous(seed, scheme.TCP, arrivals[ui], horizon)}
+			return cell{Homog: runFig14Homogeneous(seed, scheme.TCP, arrivals[ui], horizon)}
 		case ci%2 == 1:
-			return cell{homog: runFig14Homogeneous(seed, schemes[ci/2], arrivals[ui], horizon)}
+			return cell{Homog: runFig14Homogeneous(seed, schemes[ci/2], arrivals[ui], horizon)}
 		default:
 			mt, ms, j := runFig14Mixed(seed, schemes[ci/2-1], arrivals[ui], horizon)
-			return cell{mixTCP: mt, mixScheme: ms, jain: j}
+			return cell{MixTCP: mt, MixScheme: ms, Jain: j}
 		}
 	})
 
 	cols := 1 + 2*len(schemes)
 	for ui, util := range utils {
-		allTCP := cells[ui*cols].homog
+		allTCP := cells[ui*cols].Homog
 		for i, name := range schemes {
-			allScheme := cells[ui*cols+1+2*i].homog
+			allScheme := cells[ui*cols+1+2*i].Homog
 			mixed := cells[ui*cols+2+2*i]
-			pt := Fig14Point{Scheme: name, Utilization: util, Jain: mixed.jain}
+			pt := Fig14Point{Scheme: name, Utilization: util, Jain: mixed.Jain}
 			if allTCP > 0 {
-				pt.TCPRatio = mixed.mixTCP / allTCP
+				pt.TCPRatio = mixed.MixTCP / allTCP
 			}
 			if allScheme > 0 {
-				pt.SchemeRatio = mixed.mixScheme / allScheme
+				pt.SchemeRatio = mixed.MixScheme / allScheme
 			}
 			res.Points = append(res.Points, pt)
 		}

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"halfback/internal/fleet"
@@ -29,6 +30,20 @@ type Scale struct {
 	// merges results in job order and each universe derives all of its
 	// randomness from its own seed.
 	Workers int
+
+	// Ctx, when non-nil, cancels cell dispatch: on cancellation every
+	// in-flight universe finishes (and is journaled), undispatched
+	// cells surface as canceled job errors, and the sweep's panic is
+	// recognizable via fleet.Interrupted. A nil Ctx never cancels.
+	Ctx context.Context
+
+	// Run, when non-nil, attaches the crash-safety layer to every
+	// sweep of the exhibit: write-ahead journaling of completed cells
+	// (with replay on resume) and the single-cell repro target. Output
+	// is bit-identical with or without it — replayed cells decode to
+	// exactly the values their universes produced, because every
+	// universe derives all randomness from its own seed.
+	Run *fleet.Run
 }
 
 // Full is the paper-scale configuration.
@@ -60,13 +75,20 @@ func (s Scale) horizon(d sim.Duration) sim.Duration {
 // still run, then sweep panics with the aggregate so a broken cell
 // cannot silently produce a truncated exhibit.
 func sweep[T any](sc Scale, n int, label func(int) string, fn func(int) T) []T {
-	out, err := fleet.Map(sc.Workers, n, label, func(i int) (T, error) {
+	out, err := fleet.MapOpts(sc.fleetOptions(label, fleet.Retry{}), n, func(i, attempt int) (T, error) {
 		return fn(i), nil
 	})
 	if err != nil {
 		panic(err)
 	}
 	return out
+}
+
+// fleetOptions assembles the fleet engine options every sweep of this
+// Scale shares: worker bound, cancellation context, and the run's
+// crash-safety state.
+func (s Scale) fleetOptions(label func(int) string, r fleet.Retry) fleet.Options {
+	return fleet.Options{Ctx: s.Ctx, Workers: s.Workers, Label: label, Retry: r, Run: s.Run}
 }
 
 // sweepPartial is sweep for degraded-mode exhibits: universes may fail
@@ -77,7 +99,7 @@ func sweep[T any](sc Scale, n int, label func(int) string, fn func(int) T) []T {
 // Jobs run under fleet.MapRetry, so a failure marked fleet.Retryable
 // gets one re-run before being recorded.
 func sweepPartial[T any](sc Scale, n int, label func(int) string, fn func(int) (T, error)) ([]T, []error) {
-	out, err := fleet.MapRetry(sc.Workers, fleet.Retry{Attempts: 2}, n, label,
+	out, err := fleet.MapOpts(sc.fleetOptions(label, fleet.Retry{Attempts: 2}), n,
 		func(i, attempt int) (T, error) { return fn(i) })
 	errs := make([]error, n)
 	for _, je := range fleet.JobErrors(err) {

@@ -21,9 +21,11 @@ const (
 
 // Fig15Series is one flow's throughput timeline in Mbit/s per bucket.
 type Fig15Series struct {
-	Label  string
-	Mbps   []float64
-	bucket sim.Duration
+	Label string
+	Mbps  []float64
+	// Bucket is exported so panels survive the gob round-trip through
+	// the result journal intact (DESIGN.md §9).
+	Bucket sim.Duration
 }
 
 // Fig15Panel is one of the figure's four scenarios.
@@ -83,7 +85,7 @@ func fig15Run(seed uint64, name string, shorts []fig15Short) Fig15Panel {
 
 	mkSeries := func(label string) (*metrics.TimeSeries, Fig15Series) {
 		ts := metrics.NewTimeSeries(0, fig15Bucket)
-		return ts, Fig15Series{Label: label, bucket: fig15Bucket}
+		return ts, Fig15Series{Label: label, Bucket: fig15Bucket}
 	}
 
 	// The background flow runs on the same substrate as everything else
@@ -180,8 +182,8 @@ func fig15Optimal() Fig15Panel {
 	return Fig15Panel{
 		Name: "Optimal",
 		Series: []Fig15Series{
-			{Label: "Background Flow", Mbps: bg, bucket: fig15Bucket},
-			{Label: "Optimal short flow", Mbps: short, bucket: fig15Bucket},
+			{Label: "Background Flow", Mbps: bg, Bucket: fig15Bucket},
+			{Label: "Optimal short flow", Mbps: short, Bucket: fig15Bucket},
 		},
 		BackgroundRecoveryMs: transfer.Seconds() * 1000,
 		BackgroundDipMbps:    rate / 2,
@@ -211,7 +213,7 @@ func (r *Fig15Result) Tables() []*metrics.Table {
 				if i%2 != 0 {
 					continue // thin to every other bucket for output
 				}
-				series.AddRow(p.Name, s.Label, float64(i)*s.bucket.Seconds()*1000, v)
+				series.AddRow(p.Name, s.Label, float64(i)*s.Bucket.Seconds()*1000, v)
 			}
 		}
 	}

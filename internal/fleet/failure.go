@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"time"
@@ -11,19 +12,22 @@ import (
 // the whole wrapped chain), so a class survives any amount of
 // fmt.Errorf("%w") and JobError wrapping.
 //
-// The classes deliberately mirror the three ways a simulation universe
-// can fail:
+// The classes deliberately mirror the ways a simulation universe can
+// fail:
 //
 //	panicked — the job's code crashed (captured panic + stack);
 //	stalled  — the run burned its budget or made no progress
 //	           (sim.StallError / sim.BudgetError);
 //	aborted  — the flow lifecycle gave up in a controlled way
 //	           (transport.AbortError);
+//	canceled — the cell never ran because the sweep's context was
+//	           cancelled (graceful drain, not a cell defect);
 //	error    — anything else.
 const (
 	ClassPanicked = "panicked"
 	ClassStalled  = "stalled"
 	ClassAborted  = "aborted"
+	ClassCanceled = "canceled"
 	ClassError    = "error"
 )
 
@@ -45,7 +49,23 @@ func Classify(err error) string {
 	if errors.As(err, &c) {
 		return c.FailureClass()
 	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return ClassCanceled
+	}
 	return ClassError
+}
+
+// Interrupted reports whether the joined error of a Map call contains
+// at least one cell that was skipped because the sweep's context was
+// cancelled — the signature of a graceful drain, as opposed to cells
+// that genuinely failed.
+func Interrupted(err error) bool {
+	for _, je := range JobErrors(err) {
+		if je.Class() == ClassCanceled {
+			return true
+		}
+	}
+	return false
 }
 
 // PanicError is a captured job panic: the recovered value plus the
@@ -88,62 +108,87 @@ func IsRetryable(err error) bool {
 	return errors.As(err, &r)
 }
 
-// Retry configures MapRetry's per-job retry policy.
+// DefaultMaxBackoff caps the exponential retry backoff when Retry does
+// not set its own ceiling.
+const DefaultMaxBackoff = 30 * time.Second
+
+// Retry configures the per-job retry policy of MapRetry/MapOpts.
 type Retry struct {
 	// Attempts is the total number of tries per job, including the
 	// first; values below 1 mean 1 (no retry).
 	Attempts int
-	// Backoff is the wall-clock sleep before the second attempt; it
-	// doubles for each further attempt. Zero disables sleeping (retry
-	// immediately), which is right for CPU-bound simulation jobs and
-	// keeps tests fast.
+	// Backoff is the sleep before the second attempt; it doubles for
+	// each further attempt up to MaxBackoff. Zero disables sleeping
+	// (retry immediately), which is right for CPU-bound simulation
+	// jobs and keeps tests fast.
 	Backoff time.Duration
+	// MaxBackoff caps the exponential schedule; zero means
+	// DefaultMaxBackoff.
+	MaxBackoff time.Duration
+	// Sleep, when non-nil, replaces time.Sleep — tests inject a
+	// recorder here and assert the schedule without wall-clock waits.
+	Sleep func(time.Duration)
+}
+
+func (r Retry) attempts() int {
+	if r.Attempts < 1 {
+		return 1
+	}
+	return r.Attempts
+}
+
+func (r Retry) cap() time.Duration {
+	if r.MaxBackoff <= 0 {
+		return DefaultMaxBackoff
+	}
+	return r.MaxBackoff
+}
+
+// BackoffAt returns the sleep scheduled before attempt number attempt
+// (1-based count of retries: attempt 1 is the first re-run). The
+// schedule is pure and overflow-safe: Backoff doubles per retry and
+// saturates at the cap, so it is monotone non-decreasing and bounded
+// for every attempt number.
+func (r Retry) BackoffAt(attempt int) time.Duration {
+	if attempt < 1 || r.Backoff <= 0 {
+		return 0
+	}
+	d, max := r.Backoff, r.cap()
+	if d > max {
+		return max
+	}
+	for k := 1; k < attempt; k++ {
+		d *= 2
+		if d >= max || d < 0 { // saturate, guard overflow
+			return max
+		}
+	}
+	return d
+}
+
+func (r Retry) sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if r.Sleep != nil {
+		r.Sleep(d)
+		return
+	}
+	time.Sleep(d)
 }
 
 // MapRetry is Map with bounded retry: a job whose error IsRetryable is
-// re-run (with exponential backoff) up to r.Attempts times before its
-// failure is recorded. fn receives the attempt number (0-based) so a
-// job can vary transient behaviour or log retries; determinism of the
-// merged output is unaffected because retries happen inside the job's
-// index slot.
+// re-run (with capped exponential backoff, see Retry.BackoffAt) up to
+// r.Attempts times before its failure is recorded. fn receives the
+// attempt number (0-based) so a job can vary transient behaviour or
+// log retries; determinism of the merged output is unaffected because
+// retries happen inside the job's index slot.
 //
 // Non-retryable failures — including captured panics — fail
 // immediately: re-running a deterministic universe cannot change its
 // outcome.
-func MapRetry[T any](workers int, r Retry, n int, label func(int) string, fn func(i, attempt int) (T, error)) ([]T, error) {
-	attempts := r.Attempts
-	if attempts < 1 {
-		attempts = 1
-	}
-	return Map(workers, n, label, func(i int) (T, error) {
-		var (
-			out T
-			err error
-		)
-		for a := 0; a < attempts; a++ {
-			if a > 0 && r.Backoff > 0 {
-				time.Sleep(r.Backoff << (a - 1))
-			}
-			out, err = runAttempt(i, a, fn)
-			if err == nil || !IsRetryable(err) {
-				break
-			}
-		}
-		return out, err
-	})
-}
-
-// runAttempt runs one attempt with its own panic capture, so a retryable
-// first attempt followed by a panicking second still reports the panic.
-func runAttempt[T any](i, attempt int, fn func(i, attempt int) (T, error)) (out T, err error) {
-	defer func() {
-		if r := recover(); r != nil {
-			var zero T
-			out = zero
-			err = capturePanic(r)
-		}
-	}()
-	return fn(i, attempt)
+func MapRetry[T any](ctx context.Context, workers int, r Retry, n int, label func(int) string, fn func(i, attempt int) (T, error)) ([]T, error) {
+	return MapOpts(Options{Ctx: ctx, Workers: workers, Label: label, Retry: r}, n, fn)
 }
 
 // JobErrors unpacks the joined error returned by Map/MapSeeded/MapRetry

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -40,7 +41,7 @@ func TestClassify(t *testing.T) {
 // per failure.
 func TestMapPartialResults(t *testing.T) {
 	for _, workers := range []int{1, 4} {
-		out, err := Map(workers, 10, func(i int) string {
+		out, err := Map(context.Background(), workers, 10, func(i int) string {
 			return fmt.Sprintf("job-%d", i)
 		}, func(i int) (int, error) {
 			switch {
@@ -119,7 +120,7 @@ func TestRetryableMarker(t *testing.T) {
 // budget; deterministic failures and panics fail on the spot.
 func TestMapRetry(t *testing.T) {
 	attemptsSeen := make([][]int, 4)
-	out, err := MapRetry(1, Retry{Attempts: 3}, 4, nil, func(i, attempt int) (int, error) {
+	out, err := MapRetry(context.Background(), 1, Retry{Attempts: 3}, 4, nil, func(i, attempt int) (int, error) {
 		attemptsSeen[i] = append(attemptsSeen[i], attempt)
 		switch i {
 		case 0: // succeeds immediately
@@ -154,7 +155,7 @@ func TestMapRetry(t *testing.T) {
 
 // A panic on a retry attempt is captured like any other panic.
 func TestMapRetryPanicOnRetry(t *testing.T) {
-	_, err := MapRetry(1, Retry{Attempts: 2}, 1, nil, func(i, attempt int) (int, error) {
+	_, err := MapRetry(context.Background(), 1, Retry{Attempts: 2}, 1, nil, func(i, attempt int) (int, error) {
 		if attempt == 0 {
 			return 0, Retryable(errors.New("transient"))
 		}

@@ -17,14 +17,27 @@
 // A job that panics does not kill the sweep: the panic is captured and
 // converted into a labelled *JobError while the remaining jobs run to
 // completion.
+//
+// On top of execution the engine carries the crash-safety layer
+// (DESIGN.md §9 "Crash-safe runs and resume"): when a *Run with an
+// attached *Journal rides along in Options, every finished cell is
+// appended to a write-ahead journal before the sweep moves on, and a
+// resumed run replays journaled cells instead of re-executing them —
+// which, combined with per-cell seeding, makes a killed-and-resumed
+// sweep bit-identical to an uninterrupted one. Cancelling the context
+// in Options drains the sweep gracefully: in-flight cells finish and
+// are journaled, undispatched cells come back as JobErrors wrapping
+// ctx.Err().
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"sync/atomic"
 
 	"halfback/internal/sim"
 )
@@ -62,6 +75,74 @@ func Workers(n int) int {
 	return n
 }
 
+// CellTarget selects a single cell of a run for re-execution: the
+// repro path. A Map call whose Options carry a Run with a non-nil
+// Target executes only cell Cell of sweep Sweep; every other job
+// returns its zero value with a nil error, and journal replay is
+// bypassed so the target really re-runs. The target records its cell's
+// outcome so the repro driver can report it even when the surrounding
+// exhibit absorbs cell errors into degraded-mode tables.
+type CellTarget struct {
+	Sweep uint32
+	Cell  uint32
+
+	mu  sync.Mutex
+	ran bool
+	err error
+}
+
+func (t *CellTarget) record(err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.ran, t.err = true, err
+}
+
+// Outcome reports whether the target cell executed and, if so, how it
+// ended (nil = completed cleanly).
+func (t *CellTarget) Outcome() (ran bool, err error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.ran, t.err
+}
+
+// Run couples the cross-sweep state of one logical run: the optional
+// write-ahead journal and the optional single-cell repro target. Sweep
+// IDs are assigned in Map-call order, which is deterministic because a
+// run's sweeps are launched sequentially (each Map call blocks until
+// its cells are merged), so the same program with the same inputs
+// numbers its sweeps identically on every execution — the property
+// journal replay and cell repro both key on.
+type Run struct {
+	Journal *Journal
+	Target  *CellTarget
+
+	sweep atomic.Uint32
+}
+
+// nextSweep assigns the next sweep ID of this run.
+func (r *Run) nextSweep() uint32 {
+	return r.sweep.Add(1) - 1
+}
+
+// Options configures one Map call beyond its job function.
+type Options struct {
+	// Ctx, when non-nil, cancels dispatch: after Ctx is done no new
+	// job starts, in-flight jobs finish (and are journaled), and every
+	// undispatched job reports a JobError wrapping Ctx.Err(). A nil
+	// Ctx never cancels.
+	Ctx context.Context
+	// Workers is the concurrency bound, normalized by Workers().
+	Workers int
+	// Label, when non-nil, names job i for error reports, journal
+	// failure records and repro bundles.
+	Label func(int) string
+	// Retry is the per-job retry policy (zero value: single attempt).
+	Retry Retry
+	// Run, when non-nil, attaches the crash-safety layer: journal
+	// write-through/replay and the single-cell repro target.
+	Run *Run
+}
+
 // Map runs fn for every index in [0,n) across Workers(workers)
 // goroutines and returns the results in index order: out[i] is fn(i)'s
 // value no matter which worker ran it or when it finished.
@@ -75,16 +156,42 @@ func Workers(n int) int {
 // the joined error carries one *JobError per failure (recover them
 // individually with JobErrors, or match through the join with
 // errors.Is/As). The remaining jobs always run to completion; nothing
-// is cancelled. Callers that tolerate partial results therefore index
-// the slice by the failed jobs' indices (via JobErrors) and use
-// everything else.
-func Map[T any](workers, n int, label func(int) string, fn func(int) (T, error)) ([]T, error) {
+// is cancelled except by ctx. Callers that tolerate partial results
+// therefore index the slice by the failed jobs' indices (via
+// JobErrors) and use everything else.
+func Map[T any](ctx context.Context, workers, n int, label func(int) string, fn func(int) (T, error)) ([]T, error) {
+	return MapOpts(Options{Ctx: ctx, Workers: workers, Label: label}, n,
+		func(i, attempt int) (T, error) { return fn(i) })
+}
+
+// MapSeeded is Map for seeded universes: job i additionally receives
+// the SplitMix64-derived child seed sim.ChildSeed(root, i), giving
+// every universe an independent, collision-free seed that does not
+// depend on worker count or completion order.
+func MapSeeded[T any](ctx context.Context, workers int, root uint64, n int, label func(int) string, fn func(i int, seed uint64) (T, error)) ([]T, error) {
+	return Map(ctx, workers, n, label, func(i int) (T, error) {
+		return fn(i, sim.ChildSeed(root, uint64(i)))
+	})
+}
+
+// MapOpts is the engine behind Map/MapSeeded/MapRetry: bounded
+// fan-out, ordered merge, panic capture, bounded retry, cooperative
+// cancellation, and journal write-through/replay. fn receives the job
+// index and the attempt number (0-based; always 0 unless o.Retry
+// enables retries).
+func MapOpts[T any](o Options, n int, fn func(i, attempt int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	errs := make([]error, n)
 	if n == 0 {
 		return out, nil
 	}
-	w := Workers(workers)
+	ctx := o.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	job := newCellRunner(o, n, fn)
+
+	w := Workers(o.Workers)
 	if w > n {
 		w = n
 	}
@@ -92,13 +199,19 @@ func Map[T any](workers, n int, label func(int) string, fn func(int) (T, error))
 	if w == 1 {
 		// Serial reference path: same capture semantics, no goroutines.
 		for i := 0; i < n; i++ {
-			out[i], errs[i] = runJob(i, label, fn)
+			if err := ctx.Err(); err != nil {
+				errs[i] = &JobError{Index: i, Label: job.label(i), Err: err}
+				continue
+			}
+			out[i], errs[i] = job.run(i)
 		}
 		return out, errors.Join(errs...)
 	}
 
 	// next hands out job indices; results go straight to their slot, so
-	// no ordering coordination is needed beyond the WaitGroup.
+	// no ordering coordination is needed beyond the WaitGroup. Once the
+	// context is done no further index is dispatched: the undispatched
+	// tail is labelled with ctx.Err() after the drain.
 	var (
 		mu   sync.Mutex
 		next int
@@ -107,7 +220,7 @@ func Map[T any](workers, n int, label func(int) string, fn func(int) (T, error))
 	take := func() (int, bool) {
 		mu.Lock()
 		defer mu.Unlock()
-		if next >= n {
+		if next >= n || ctx.Err() != nil {
 			return 0, false
 		}
 		i := next
@@ -123,42 +236,125 @@ func Map[T any](workers, n int, label func(int) string, fn func(int) (T, error))
 				if !ok {
 					return
 				}
-				out[i], errs[i] = runJob(i, label, fn)
+				out[i], errs[i] = job.run(i)
 			}
 		}()
 	}
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		mu.Lock()
+		skippedFrom := next
+		mu.Unlock()
+		for i := skippedFrom; i < n; i++ {
+			errs[i] = &JobError{Index: i, Label: job.label(i), Err: err}
+		}
+	}
 	return out, errors.Join(errs...)
 }
 
-// MapSeeded is Map for seeded universes: job i additionally receives
-// the SplitMix64-derived child seed sim.ChildSeed(root, i), giving
-// every universe an independent, collision-free seed that does not
-// depend on worker count or completion order.
-func MapSeeded[T any](workers int, root uint64, n int, label func(int) string, fn func(i int, seed uint64) (T, error)) ([]T, error) {
-	return Map(workers, n, label, func(i int) (T, error) {
-		return fn(i, sim.ChildSeed(root, uint64(i)))
-	})
+// cellRunner executes one cell end to end: repro filtering, journal
+// replay, the retry loop, panic capture, and journal write-through.
+type cellRunner[T any] struct {
+	o     Options
+	fn    func(i, attempt int) (T, error)
+	sweep uint32 // this Map call's sweep ID within o.Run
 }
 
-// runJob executes one job with panic capture.
-func runJob[T any](i int, label func(int) string, fn func(int) (T, error)) (out T, err error) {
-	lbl := ""
-	if label != nil {
-		lbl = label(i)
+func newCellRunner[T any](o Options, n int, fn func(i, attempt int) (T, error)) *cellRunner[T] {
+	c := &cellRunner[T]{o: o, fn: fn}
+	if o.Run != nil {
+		c.sweep = o.Run.nextSweep()
+		if j := o.Run.Journal; j != nil {
+			j.beginSweep(c.sweep, n)
+		}
 	}
+	return c
+}
+
+func (c *cellRunner[T]) label(i int) string {
+	if c.o.Label == nil {
+		return ""
+	}
+	return c.o.Label(i)
+}
+
+// run executes job i and wraps any failure in a labelled *JobError.
+func (c *cellRunner[T]) run(i int) (T, error) {
+	out, err := c.attempt(i)
+	if err != nil {
+		err = &JobError{Index: i, Label: c.label(i), Err: err}
+	}
+	return out, err
+}
+
+// attempt handles replay/filter, then the retry loop with journal
+// write-through of the final outcome.
+func (c *cellRunner[T]) attempt(i int) (out T, err error) {
+	var (
+		j      *Journal
+		target *CellTarget
+	)
+	if r := c.o.Run; r != nil {
+		j, target = r.Journal, r.Target
+	}
+	if target != nil {
+		if target.Sweep != c.sweep || target.Cell != uint32(i) {
+			// Repro mode: every cell but the target is skipped. The
+			// zero value is fine — repro output is the target cell's
+			// outcome, not the surrounding tables.
+			var zero T
+			return zero, nil
+		}
+		// The target itself always re-executes (no replay), so a repro
+		// run reproduces the failure rather than reading it back.
+	} else if j != nil {
+		if data, ok := j.lookupCell(c.sweep, uint32(i)); ok {
+			if derr := decodeCell(data, &out); derr != nil {
+				var zero T
+				return zero, fmt.Errorf("journal replay of sweep %d cell %d: %w", c.sweep, i, derr)
+			}
+			return out, nil
+		}
+	}
+
+	attempts := c.o.Retry.attempts()
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			c.o.Retry.sleep(c.o.Retry.BackoffAt(a))
+		}
+		out, err = c.runAttempt(i, a)
+		if err == nil || !IsRetryable(err) {
+			break
+		}
+	}
+	if target != nil {
+		target.record(err)
+	}
+	if j != nil {
+		if err != nil {
+			j.appendFailure(c.sweep, uint32(i), c.label(i), Classify(err), err.Error())
+		} else if werr := j.appendCell(c.sweep, uint32(i), &out); werr != nil {
+			// A cell that cannot be journaled poisons resume; surface it
+			// rather than silently producing an incomplete journal.
+			var zero T
+			return zero, fmt.Errorf("journal append for sweep %d cell %d: %w", c.sweep, i, werr)
+		}
+	}
+	return out, err
+}
+
+// runAttempt runs one attempt with its own panic capture, so a
+// retryable first attempt followed by a panicking second still reports
+// the panic, and a captured panic can be journaled like any failure.
+func (c *cellRunner[T]) runAttempt(i, attempt int) (out T, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			var zero T
 			out = zero
-			err = &JobError{Index: i, Label: lbl, Err: capturePanic(r)}
+			err = capturePanic(r)
 		}
 	}()
-	out, err = fn(i)
-	if err != nil {
-		err = &JobError{Index: i, Label: lbl, Err: err}
-	}
-	return out, err
+	return c.fn(i, attempt)
 }
 
 // capturePanic freezes a recovered panic as a structured *PanicError

@@ -1,6 +1,7 @@
 package fleet
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -34,12 +35,12 @@ func TestMapOrderPreservedAcrossWorkerCounts(t *testing.T) {
 		}
 		return acc, nil
 	}
-	want, err := Map(1, 64, nil, job)
+	want, err := Map(context.Background(), 1, 64, nil, job)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, w := range []int{2, 3, 8, 64} {
-		got, err := Map(w, 64, nil, job)
+		got, err := Map(context.Background(), w, 64, nil, job)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -52,11 +53,11 @@ func TestMapOrderPreservedAcrossWorkerCounts(t *testing.T) {
 }
 
 func TestMapEmptyAndSingle(t *testing.T) {
-	out, err := Map(8, 0, nil, func(i int) (int, error) { return i, nil })
+	out, err := Map(context.Background(), 8, 0, nil, func(i int) (int, error) { return i, nil })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("n=0: %v %v", out, err)
 	}
-	out, err = Map(8, 1, nil, func(i int) (int, error) { return 41 + i, nil })
+	out, err = Map(context.Background(), 8, 1, nil, func(i int) (int, error) { return 41 + i, nil })
 	if err != nil || len(out) != 1 || out[0] != 41 {
 		t.Fatalf("n=1: %v %v", out, err)
 	}
@@ -65,7 +66,7 @@ func TestMapEmptyAndSingle(t *testing.T) {
 func TestMapPanicBecomesLabelledJobError(t *testing.T) {
 	for _, w := range []int{1, 4} {
 		var ran atomic.Int32
-		out, err := Map(w, 10, func(i int) string {
+		out, err := Map(context.Background(), w, 10, func(i int) string {
 			return fmt.Sprintf("universe-%d", i)
 		}, func(i int) (int, error) {
 			if i == 3 {
@@ -102,7 +103,7 @@ func TestMapPanicBecomesLabelledJobError(t *testing.T) {
 }
 
 func TestMapCollectsEveryError(t *testing.T) {
-	_, err := Map(4, 6, nil, func(i int) (int, error) {
+	_, err := Map(context.Background(), 4, 6, nil, func(i int) (int, error) {
 		if i%2 == 1 {
 			return 0, fmt.Errorf("odd job %d", i)
 		}
@@ -120,7 +121,7 @@ func TestMapCollectsEveryError(t *testing.T) {
 
 func TestMapRespectsWorkerBound(t *testing.T) {
 	var cur, peak atomic.Int32
-	_, err := Map(4, 32, nil, func(i int) (int, error) {
+	_, err := Map(context.Background(), 4, 32, nil, func(i int) (int, error) {
 		c := cur.Add(1)
 		for {
 			p := peak.Load()
@@ -141,7 +142,7 @@ func TestMapRespectsWorkerBound(t *testing.T) {
 }
 
 func TestMapSeededHandsOutChildSeeds(t *testing.T) {
-	seeds, err := MapSeeded(3, 7, 16, nil, func(i int, seed uint64) (uint64, error) {
+	seeds, err := MapSeeded(context.Background(), 3, 7, 16, nil, func(i int, seed uint64) (uint64, error) {
 		return seed, nil
 	})
 	if err != nil {

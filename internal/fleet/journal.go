@@ -1,0 +1,541 @@
+package fleet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+	"sync"
+)
+
+// The write-ahead cell journal (DESIGN.md §9 "Crash-safe runs and
+// resume").
+//
+// A journal file is:
+//
+//	8-byte magic "HBJRNL01"
+//	record*
+//
+// and every record is:
+//
+//	uint32 LE payload length
+//	uint32 LE CRC-32C (Castagnoli) of the payload
+//	payload
+//
+// The first record's payload is the meta record (kind 0, JSON-encoded
+// JournalMeta — enough to reconstruct the command line that produced
+// the run). Every later record is either a completed cell (kind 1:
+// sweep, cell index, gob-encoded result) or a failed cell (kind 2:
+// sweep, cell index, label, failure class, message). Appends are
+// atomic with respect to crashes: each record is a single write(2) to
+// an O_APPEND descriptor followed by fsync, and the decoder tolerates
+// a torn tail — a record whose length field, payload or checksum is
+// incomplete or wrong ends the journal at the last fully valid record,
+// which is exactly the prefix a crashed run is guaranteed to have made
+// durable.
+//
+// Replay is last-record-wins per (sweep, cell): a failure later
+// superseded by a success (a retry, or a resumed re-execution) replays
+// as the success, and vice versa. Only successes replay; failed and
+// missing cells re-execute on resume.
+
+// journalMagic identifies a journal file and its format version.
+const journalMagic = "HBJRNL01"
+
+// Record kinds.
+const (
+	recMeta byte = iota
+	recCell
+	recFail
+)
+
+// recHeaderLen is the fixed per-record header: length + CRC.
+const recHeaderLen = 8
+
+// crcTable is the Castagnoli polynomial, the usual choice for storage
+// checksums.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// JournalMeta identifies the run a journal belongs to. Args holds the
+// producing tool's command line (minus the journal/resume flags
+// themselves), so `-resume <journal>` is self-contained: the tool
+// re-parses Args and re-runs the identical sweep with the journal
+// attached.
+type JournalMeta struct {
+	Version int      `json:"version"`
+	Tool    string   `json:"tool"`              // "halfback-sim", "fctsweep", ...
+	Exhibit string   `json:"exhibit,omitempty"` // exhibit ID for halfback-sim runs
+	Seed    uint64   `json:"seed"`
+	Args    []string `json:"args"`
+}
+
+// JournalRecord is one decoded cell record (meta is carried separately
+// by JournalScan).
+type JournalRecord struct {
+	Kind  byte
+	Sweep uint32
+	Cell  uint32
+	Data  []byte // recCell: gob-encoded result
+	Label string // recFail
+	Class string // recFail
+	Error string // recFail
+	// Offset is the byte offset of the record's header in the file;
+	// Offset+Len is the first byte after the record — the truncation
+	// points crash-injection tests cut at.
+	Offset int64
+	Len    int64
+}
+
+// JournalScan is the result of decoding a journal image.
+type JournalScan struct {
+	Meta    JournalMeta
+	Records []JournalRecord
+	// Valid is the length in bytes of the valid prefix: everything
+	// before it decoded cleanly, everything from it on is torn or
+	// corrupt (Valid == len(data) for a clean journal).
+	Valid int64
+	// TailErr describes why decoding stopped before the end of the
+	// data, nil for a clean journal. A torn tail is expected after a
+	// crash and does not make the journal unusable.
+	TailErr error
+}
+
+// ErrJournalCorrupt reports a journal whose header or meta record is
+// unusable — unlike a torn tail, there is nothing to resume from.
+var ErrJournalCorrupt = errors.New("fleet: journal corrupt")
+
+// ScanJournal decodes a journal image. It returns a hard error only
+// when the magic or the meta record is unusable; a torn or corrupt
+// tail after a valid meta record is reported via TailErr with every
+// fully valid record decoded.
+func ScanJournal(data []byte) (*JournalScan, error) {
+	if len(data) < len(journalMagic) || string(data[:len(journalMagic)]) != journalMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrJournalCorrupt)
+	}
+	s := &JournalScan{Valid: int64(len(journalMagic))}
+	off := int64(len(journalMagic))
+	first := true
+	for off < int64(len(data)) {
+		rest := data[off:]
+		if len(rest) < recHeaderLen {
+			s.TailErr = fmt.Errorf("torn record header at offset %d", off)
+			break
+		}
+		plen := int64(binary.LittleEndian.Uint32(rest[0:4]))
+		sum := binary.LittleEndian.Uint32(rest[4:8])
+		if plen > int64(len(rest))-recHeaderLen {
+			s.TailErr = fmt.Errorf("torn record payload at offset %d (%d bytes declared, %d present)", off, plen, int64(len(rest))-recHeaderLen)
+			break
+		}
+		payload := rest[recHeaderLen : recHeaderLen+plen]
+		if crc32.Checksum(payload, crcTable) != sum {
+			s.TailErr = fmt.Errorf("checksum mismatch at offset %d", off)
+			break
+		}
+		rec, err := decodeRecord(payload)
+		if err != nil {
+			// CRC-valid but semantically malformed: a writer bug, not a
+			// crash artifact. Treat like corruption at this point.
+			s.TailErr = fmt.Errorf("malformed record at offset %d: %w", off, err)
+			break
+		}
+		rec.Offset = off
+		rec.Len = recHeaderLen + plen
+		if first {
+			if rec.Kind != recMeta {
+				return nil, fmt.Errorf("%w: first record is not the meta record", ErrJournalCorrupt)
+			}
+			if err := json.Unmarshal(rec.Data, &s.Meta); err != nil {
+				return nil, fmt.Errorf("%w: meta record: %v", ErrJournalCorrupt, err)
+			}
+			first = false
+		} else {
+			if rec.Kind == recMeta {
+				s.TailErr = fmt.Errorf("duplicate meta record at offset %d", off)
+				break
+			}
+			s.Records = append(s.Records, rec)
+		}
+		off += rec.Len
+		s.Valid = off
+	}
+	if first {
+		// No complete meta record survived: nothing identifies the run.
+		if s.TailErr != nil {
+			return nil, fmt.Errorf("%w: %v", ErrJournalCorrupt, s.TailErr)
+		}
+		return nil, fmt.Errorf("%w: missing meta record", ErrJournalCorrupt)
+	}
+	return s, nil
+}
+
+// decodeRecord parses one CRC-valid payload.
+func decodeRecord(payload []byte) (JournalRecord, error) {
+	var rec JournalRecord
+	if len(payload) == 0 {
+		return rec, errors.New("empty payload")
+	}
+	rec.Kind = payload[0]
+	body := payload[1:]
+	switch rec.Kind {
+	case recMeta:
+		rec.Data = body
+		return rec, nil
+	case recCell:
+		sweep, cell, rest, err := decodeCellKey(body)
+		if err != nil {
+			return rec, err
+		}
+		rec.Sweep, rec.Cell, rec.Data = sweep, cell, rest
+		return rec, nil
+	case recFail:
+		sweep, cell, rest, err := decodeCellKey(body)
+		if err != nil {
+			return rec, err
+		}
+		rec.Sweep, rec.Cell = sweep, cell
+		for _, dst := range []*string{&rec.Label, &rec.Class, &rec.Error} {
+			var s string
+			s, rest, err = decodeString(rest)
+			if err != nil {
+				return rec, err
+			}
+			*dst = s
+		}
+		if len(rest) != 0 {
+			return rec, errors.New("trailing bytes in failure record")
+		}
+		return rec, nil
+	default:
+		return rec, fmt.Errorf("unknown record kind %d", rec.Kind)
+	}
+}
+
+func decodeCellKey(b []byte) (sweep, cell uint32, rest []byte, err error) {
+	s, n := binary.Uvarint(b)
+	if n <= 0 || s > math.MaxUint32 {
+		return 0, 0, nil, errors.New("bad sweep varint")
+	}
+	b = b[n:]
+	c, n := binary.Uvarint(b)
+	if n <= 0 || c > math.MaxUint32 {
+		return 0, 0, nil, errors.New("bad cell varint")
+	}
+	return uint32(s), uint32(c), b[n:], nil
+}
+
+func decodeString(b []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(b)
+	if n <= 0 || l > uint64(len(b)-n) {
+		return "", nil, errors.New("bad string length")
+	}
+	return string(b[n : n+int(l)]), b[n+int(l):], nil
+}
+
+// cellKey addresses one cell across a run's sweeps.
+type cellKey struct{ sweep, cell uint32 }
+
+// SweepProgress is one sweep's completion state, for the partial table
+// an interrupted run renders.
+type SweepProgress struct {
+	Sweep  uint32
+	Total  int // cells in the sweep; 0 until the sweep began this process
+	Done   int // cells with a journaled success (replayed or fresh)
+	Failed int // cells whose latest record is a failure
+}
+
+// Journal is the write-ahead, per-cell result journal Map writes
+// through when a Run carries one. It is safe for concurrent use by the
+// fleet workers.
+type Journal struct {
+	mu       sync.Mutex
+	f        *os.File
+	path     string
+	meta     JournalMeta
+	replay   map[cellKey][]byte // successes from a prior run, last-wins
+	failed   map[cellKey]string // failure class of cells whose last record failed
+	progress map[uint32]*SweepProgress
+	sweeps   []uint32 // sweep IDs in begin order
+	bundles  []string // repro bundle paths written this process
+}
+
+// CreateJournal starts a fresh journal at path. It refuses to clobber
+// an existing file: a journal is a run's only durable state, so
+// overwriting one must be an explicit `rm`, not a flag typo.
+func CreateJournal(path string, meta JournalMeta) (*Journal, error) {
+	if meta.Version == 0 {
+		meta.Version = 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		if errors.Is(err, os.ErrExist) {
+			return nil, fmt.Errorf("fleet: journal %s already exists (resume it, or remove it for a fresh run)", path)
+		}
+		return nil, err
+	}
+	j := newJournal(f, path, meta)
+	body, err := json.Marshal(meta)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Write([]byte(journalMagic)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := j.appendRecord(append([]byte{recMeta}, body...)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// ResumeJournal opens an existing journal for resumption: it decodes
+// the valid prefix, truncates any torn tail so future appends extend a
+// clean file, and loads the replay state. The caller re-runs the
+// original sweep (per Meta().Args) with the journal attached; cells
+// with a journaled success replay instead of executing.
+func ResumeJournal(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	scan, err := ScanJournal(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if scan.Valid < int64(len(data)) {
+		// Drop the torn tail on disk, not just in memory: the next
+		// append must not leave garbage spliced between records.
+		if err := os.Truncate(path, scan.Valid); err != nil {
+			return nil, err
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	j := newJournal(f, path, scan.Meta)
+	for _, rec := range scan.Records {
+		key := cellKey{rec.Sweep, rec.Cell}
+		switch rec.Kind {
+		case recCell:
+			j.replay[key] = rec.Data
+			delete(j.failed, key)
+		case recFail:
+			j.failed[key] = rec.Class
+			delete(j.replay, key)
+		}
+	}
+	return j, nil
+}
+
+func newJournal(f *os.File, path string, meta JournalMeta) *Journal {
+	return &Journal{
+		f: f, path: path, meta: meta,
+		replay:   make(map[cellKey][]byte),
+		failed:   make(map[cellKey]string),
+		progress: make(map[uint32]*SweepProgress),
+	}
+}
+
+// Meta returns the run identity the journal was created with.
+func (j *Journal) Meta() JournalMeta { return j.meta }
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Replayable returns how many journaled successes are available for
+// replay (before any sweep has consumed them).
+func (j *Journal) Replayable() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.replay)
+}
+
+// Bundles returns the repro bundle paths written by this process, in
+// emission order.
+func (j *Journal) Bundles() []string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]string(nil), j.bundles...)
+}
+
+// Progress returns per-sweep completion counters in sweep-begin order,
+// the data behind the INTERRUPTED partial table.
+func (j *Journal) Progress() []SweepProgress {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]SweepProgress, 0, len(j.sweeps))
+	for _, id := range j.sweeps {
+		out = append(out, *j.progress[id])
+	}
+	return out
+}
+
+// Close fsyncs and closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}
+
+// beginSweep registers a sweep's size for progress accounting.
+func (j *Journal) beginSweep(sweep uint32, n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progressLocked(sweep).Total = n
+}
+
+func (j *Journal) progressLocked(sweep uint32) *SweepProgress {
+	p := j.progress[sweep]
+	if p == nil {
+		p = &SweepProgress{Sweep: sweep}
+		j.progress[sweep] = p
+		j.sweeps = append(j.sweeps, sweep)
+	}
+	return p
+}
+
+// lookupCell returns the journaled success for a cell, if any, and
+// counts it as done.
+func (j *Journal) lookupCell(sweep, cell uint32) ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	data, ok := j.replay[cellKey{sweep, cell}]
+	if ok {
+		j.progressLocked(sweep).Done++
+	}
+	return data, ok
+}
+
+// appendCell journals one completed cell: gob-encode, append, fsync.
+func (j *Journal) appendCell(sweep, cell uint32, v any) error {
+	var buf bytes.Buffer
+	buf.WriteByte(recCell)
+	writeCellKey(&buf, sweep, cell)
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendRecord(buf.Bytes()); err != nil {
+		return err
+	}
+	j.progressLocked(sweep).Done++
+	return nil
+}
+
+// appendFailure journals one failed cell and emits its repro bundle.
+// Journal I/O errors here are deliberately swallowed: the cell's real
+// error is already on its way to the caller and must not be masked by
+// a bookkeeping failure.
+func (j *Journal) appendFailure(sweep, cell uint32, label, class, msg string) {
+	var buf bytes.Buffer
+	buf.WriteByte(recFail)
+	writeCellKey(&buf, sweep, cell)
+	for _, s := range []string{label, class, msg} {
+		var tmp [binary.MaxVarintLen64]byte
+		buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(len(s)))])
+		buf.WriteString(s)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.appendRecord(buf.Bytes()); err != nil {
+		return
+	}
+	j.progressLocked(sweep).Failed++
+	j.writeBundleLocked(sweep, cell, label, class, msg)
+}
+
+// appendRecord frames and durably appends one payload. Callers hold
+// j.mu (or are the constructor, pre-sharing).
+func (j *Journal) appendRecord(payload []byte) error {
+	if j.f == nil {
+		return errors.New("fleet: journal closed")
+	}
+	rec := make([]byte, recHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.Checksum(payload, crcTable))
+	copy(rec[recHeaderLen:], payload)
+	if _, err := j.f.Write(rec); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+func writeCellKey(buf *bytes.Buffer, sweep, cell uint32) {
+	var tmp [binary.MaxVarintLen64]byte
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(sweep))])
+	buf.Write(tmp[:binary.PutUvarint(tmp[:], uint64(cell))])
+}
+
+// ReproBundle is the self-contained description of one failed cell: it
+// carries everything `halfback-sim -repro` needs to rebuild the exact
+// universe (the run's meta incl. full args and seed, plus the sweep and
+// cell index the deterministic sweep order maps back to one universe).
+type ReproBundle struct {
+	Meta  JournalMeta `json:"meta"`
+	Sweep uint32      `json:"sweep"`
+	Cell  uint32      `json:"cell"`
+	Label string      `json:"label,omitempty"`
+	Class string      `json:"class"`
+	Error string      `json:"error"`
+}
+
+// LoadReproBundle reads a bundle written next to a journal.
+func LoadReproBundle(path string) (*ReproBundle, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b ReproBundle
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("repro bundle %s: %w", path, err)
+	}
+	return &b, nil
+}
+
+// writeBundleLocked emits the failed cell's repro bundle next to the
+// journal. Best-effort: bundle I/O must not mask the cell's error.
+func (j *Journal) writeBundleLocked(sweep, cell uint32, label, class, msg string) {
+	b := ReproBundle{Meta: j.meta, Sweep: sweep, Cell: cell, Label: label, Class: class, Error: msg}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return
+	}
+	path := fmt.Sprintf("%s.s%dc%d.repro.json", j.path, sweep, cell)
+	if os.WriteFile(path, append(data, '\n'), 0o644) == nil {
+		j.bundles = append(j.bundles, path)
+	}
+}
+
+// decodeCell gob-decodes a journaled cell payload into v (a *T).
+func decodeCell(data []byte, v any) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(v)
+}
+
+func init() {
+	// Sweep cell types may be []any rows (the ad-hoc CLI sweeps); gob
+	// needs the concrete scalar types inside interface values
+	// registered before it can encode them.
+	gob.Register(int(0))
+	gob.Register(int64(0))
+	gob.Register(uint64(0))
+	gob.Register(float64(0))
+	gob.Register(string(""))
+	gob.Register(bool(false))
+}

@@ -205,6 +205,29 @@ func TestTableCSV(t *testing.T) {
 	}
 }
 
+// An empty Footer must change nothing — every pre-footer golden and
+// baseline depends on that — and a set Footer renders exactly once,
+// after the rows, in both output formats.
+func TestTableFooter(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1)
+	plainText, plainCSV := tb.String(), tb.CSV()
+
+	tb.Footer = "INTERRUPTED: 3/9 cells complete — resume with: fctsweep -resume run.journal"
+	text, csv := tb.String(), tb.CSV()
+	if !strings.HasSuffix(text, "\n"+tb.Footer+"\n") {
+		t.Fatalf("footer not rendered after the rows:\n%s", text)
+	}
+	if !strings.HasSuffix(csv, "# "+tb.Footer+"\n") {
+		t.Fatalf("CSV footer missing its comment marker:\n%s", csv)
+	}
+
+	tb.Footer = ""
+	if tb.String() != plainText || tb.CSV() != plainCSV {
+		t.Fatal("clearing the footer does not restore the original rendering")
+	}
+}
+
 func TestFormatFloat(t *testing.T) {
 	cases := map[float64]string{
 		0: "0", 0.1234: "0.123", 55.55: "55.5", 4000: "4000", -2000: "-2000",

@@ -11,7 +11,12 @@ import (
 type Table struct {
 	Title   string
 	Columns []string
-	rows    [][]string
+	// Footer, when non-empty, renders on its own line after the rows —
+	// the slot for run-state annotations like the INTERRUPTED notice a
+	// drained sweep leaves under its partial table. An empty footer
+	// changes nothing, so all pre-footer renderings are bit-identical.
+	Footer string
+	rows   [][]string
 }
 
 // NewTable creates a table with the given title and column headers.
@@ -89,6 +94,9 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	for _, row := range t.rows {
 		writeRow(row)
 	}
+	if t.Footer != "" {
+		fmt.Fprintf(&b, "%s\n", t.Footer)
+	}
 	n, err := io.WriteString(w, b.String())
 	return int64(n), err
 }
@@ -107,6 +115,10 @@ func (t *Table) CSV() string {
 	b.WriteByte('\n')
 	for _, row := range t.rows {
 		b.WriteString(strings.Join(row, ","))
+		b.WriteByte('\n')
+	}
+	if t.Footer != "" {
+		b.WriteString("# " + t.Footer)
 		b.WriteByte('\n')
 	}
 	return b.String()

@@ -1,6 +1,8 @@
 package ptest
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -19,7 +21,7 @@ import (
 func TestPayloadIntegrityAllSchemes(t *testing.T) {
 	const flowBytes = 1_000_000
 	names := scheme.AllNames()
-	_, err := fleet.Map(0, len(names), func(i int) string {
+	_, err := fleet.Map(context.Background(), 0, len(names), func(i int) string {
 		return names[i]
 	}, func(i int) (struct{}, error) {
 		name := names[i]

@@ -1,6 +1,8 @@
 package ptest
 
 import (
+	"context"
+
 	"testing"
 
 	"halfback/internal/fleet"
@@ -31,7 +33,7 @@ func TestTortureAllSchemes(t *testing.T) {
 	nu := tortureUniverses()
 	n := len(schemes) * nu
 
-	results, err := fleet.Map(0, n, func(i int) string {
+	results, err := fleet.Map(context.Background(), 0, n, func(i int) string {
 		return schemes[i/nu]
 	}, func(i int) (*TortureResult, error) {
 		u := RandomUniverse(sim.ChildSeed(0xbad, uint64(i%nu)))
