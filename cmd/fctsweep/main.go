@@ -48,22 +48,23 @@ import (
 // that influences output bytes) round-trips through the journal meta so
 // -resume reconstructs the identical sweep.
 type config struct {
-	schemes    string
-	utils      string
-	flowBytes  int
-	bufBytes   int
-	rtt        time.Duration
-	rateMbps   int64
-	horizon    time.Duration
-	seed       uint64
-	workers    int
-	adversity  string
-	deadline   time.Duration
-	maxRetx    int
-	cpuprofile string
-	memprofile string
-	journal    string
-	resume     string
+	schemes     string
+	utils       string
+	flowBytes   int
+	bufBytes    int
+	rtt         time.Duration
+	rateMbps    int64
+	horizon     time.Duration
+	seed        uint64
+	workers     int
+	adversity   string
+	deadline    time.Duration
+	maxRetx     int
+	maxTimeouts int
+	cpuprofile  string
+	memprofile  string
+	journal     string
+	resume      string
 }
 
 // flagSet binds a fresh FlagSet to cfg so the same parser handles both
@@ -82,6 +83,7 @@ func flagSet(cfg *config) *flag.FlagSet {
 	fs.StringVar(&cfg.adversity, "adversity", "none", "fault-injection preset on the bottleneck, both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
 	fs.DurationVar(&cfg.deadline, "flowdeadline", 0, "per-flow lifetime bound; flows abort (deadline) when it elapses; 0 disables")
 	fs.IntVar(&cfg.maxRetx, "maxretx", 0, "per-flow retransmission budget; flows abort (retx-budget) beyond it; 0 disables")
+	fs.IntVar(&cfg.maxTimeouts, "maxtimeouts", 0, "consecutive-RTO give-up; flows abort (retx-budget) beyond it; 0 selects the default of 15, negative retries forever")
 	fs.StringVar(&cfg.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write an allocation profile to this file on exit")
 	fs.StringVar(&cfg.journal, "journal", "", "write-ahead cell journal for this run (must not exist yet)")
@@ -105,6 +107,7 @@ func (c *config) shapeArgs() []string {
 		"-adversity", c.adversity,
 		"-flowdeadline", c.deadline.String(),
 		"-maxretx", strconv.Itoa(c.maxRetx),
+		"-maxtimeouts", strconv.Itoa(c.maxTimeouts),
 	}
 }
 
@@ -236,7 +239,7 @@ func run(args []string) int {
 	}, n, func(i, attempt int) ([]any, error) {
 		name, util := cell(i)
 		return runCell(cfg.seed, name, util, cfg.flowBytes, cfg.bufBytes, cfg.rtt,
-			cfg.rateMbps*netem.Mbps, cfg.horizon, adv, cfg.deadline, cfg.maxRetx), nil
+			cfg.rateMbps*netem.Mbps, cfg.horizon, adv, cfg.deadline, cfg.maxRetx, cfg.maxTimeouts), nil
 	})
 
 	// Render every cell honestly: real rows for completed cells,
@@ -313,13 +316,14 @@ func installSignalHandler(cancel context.CancelFunc) {
 
 func runCell(seed uint64, name string, util float64, flowBytes, bufBytes int,
 	rtt time.Duration, rateBps int64, horizon time.Duration, adv netem.Adversity,
-	deadline time.Duration, maxRetx int) []any {
+	deadline time.Duration, maxRetx, maxTimeouts int) []any {
 	cfg := netem.DumbbellConfig{
 		Pairs: 16, BottleneckBps: rateBps, RTT: rtt, BufferBytes: bufBytes,
 	}.Defaulted()
 	s := experiment.NewDumbbellSim(seed, cfg)
 	s.Opts.FlowDeadline = sim.Duration(deadline)
 	s.Opts.MaxRetx = maxRetx
+	s.Opts.MaxTimeouts = maxTimeouts
 	s.D.Bottleneck.SetAdversity(adv)
 	s.D.Reverse.SetAdversity(adv)
 	inst := scheme.MustNew(name)

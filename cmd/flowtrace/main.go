@@ -28,17 +28,18 @@ import (
 
 func main() {
 	var (
-		schemeName = flag.String("scheme", "Halfback", "scheme to trace")
-		bytes      = flag.Int("bytes", 10*netem.SegmentPayload, "flow size in bytes")
-		rateMbps   = flag.Int64("rate", 15, "bottleneck rate, Mbit/s")
-		rtt        = flag.Duration("rtt", 60*time.Millisecond, "path RTT")
-		buf        = flag.Int("buffer", 115_000, "bottleneck buffer, bytes")
-		loss       = flag.Float64("loss", 0, "random loss probability per direction")
-		dropsArg   = flag.String("drop", "", "comma-separated segment numbers whose first copy is dropped")
-		seed       = flag.Uint64("seed", 1, "simulation seed")
-		advName    = flag.String("adversity", "none", "fault-injection preset on both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
-		deadline   = flag.Duration("flowdeadline", 0, "per-flow lifetime bound; the flow aborts (deadline) when it elapses; 0 disables")
-		maxRetx    = flag.Int("maxretx", 0, "per-flow retransmission budget; the flow aborts (retx-budget) beyond it; 0 disables")
+		schemeName  = flag.String("scheme", "Halfback", "scheme to trace")
+		bytes       = flag.Int("bytes", 10*netem.SegmentPayload, "flow size in bytes")
+		rateMbps    = flag.Int64("rate", 15, "bottleneck rate, Mbit/s")
+		rtt         = flag.Duration("rtt", 60*time.Millisecond, "path RTT")
+		buf         = flag.Int("buffer", 115_000, "bottleneck buffer, bytes")
+		loss        = flag.Float64("loss", 0, "random loss probability per direction")
+		dropsArg    = flag.String("drop", "", "comma-separated segment numbers whose first copy is dropped")
+		seed        = flag.Uint64("seed", 1, "simulation seed")
+		advName     = flag.String("adversity", "none", "fault-injection preset on both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
+		deadline    = flag.Duration("flowdeadline", 0, "per-flow lifetime bound; the flow aborts (deadline) when it elapses; 0 disables")
+		maxRetx     = flag.Int("maxretx", 0, "per-flow retransmission budget; the flow aborts (retx-budget) beyond it; 0 disables")
+		maxTimeouts = flag.Int("maxtimeouts", 0, "consecutive-RTO give-up; the flow aborts (retx-budget) beyond it; 0 selects the default of 15, negative retries forever")
 	)
 	flag.Parse()
 
@@ -58,6 +59,7 @@ func main() {
 	})
 	ps.Opts.FlowDeadline = sim.Duration(*deadline)
 	ps.Opts.MaxRetx = *maxRetx
+	ps.Opts.MaxTimeouts = *maxTimeouts
 	ps.Path.Forward.SetAdversity(adv)
 	ps.Path.Back.SetAdversity(adv)
 	rec := trace.NewRecorder()

@@ -1,0 +1,54 @@
+package cc_test
+
+import (
+	"testing"
+
+	"halfback/internal/cc"
+)
+
+// The timer-kind naming and aux-slot arithmetic back every conformance
+// failure message; pin them so a renumbered constant shows up here, not
+// as a confusing mismatch in an unrelated failure.
+func TestTimerKindNamesAndAuxSlots(t *testing.T) {
+	want := map[cc.TimerKind]string{
+		cc.TimerPaceDone:      "pace-done",
+		cc.TimerPTO:           "pto",
+		cc.TimerTick:          "tick",
+		cc.TimerProbeDeadline: "probe-deadline",
+		cc.TimerReprobe:       "reprobe",
+	}
+	for k, name := range want {
+		if got := k.String(); got != name {
+			t.Errorf("TimerKind(%d).String() = %q, want %q", int(k), got, name)
+		}
+		if _, aux := k.Aux(); aux {
+			t.Errorf("%s claims to be an aux slot", name)
+		}
+	}
+	for i := 0; i < cc.MaxAuxTimers; i++ {
+		k := cc.TimerAux(i)
+		slot, aux := k.Aux()
+		if !aux || slot != i {
+			t.Errorf("TimerAux(%d).Aux() = (%d, %v), want (%d, true)", i, slot, aux, i)
+		}
+		if got, want := k.String(), "aux"+string(rune('0'+i)); got != want {
+			t.Errorf("TimerAux(%d).String() = %q, want %q", i, got, want)
+		}
+	}
+	if got := cc.TimerKind(cc.NumTimerKinds).String(); got != "unknown" {
+		t.Errorf("out-of-table kind names %q, want unknown", got)
+	}
+}
+
+func TestTimerAuxRejectsOutOfRangeSlots(t *testing.T) {
+	for _, i := range []int{-1, cc.MaxAuxTimers} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("TimerAux(%d) did not panic", i)
+				}
+			}()
+			cc.TimerAux(i)
+		}()
+	}
+}

@@ -29,10 +29,10 @@
 package core
 
 import (
+	"halfback/internal/cc"
 	"halfback/internal/netem"
 	"halfback/internal/protocols/tcp"
 	"halfback/internal/sim"
-	"halfback/internal/transport"
 )
 
 // RetxOrder selects the proactive-retransmission strategy (§5's design
@@ -104,81 +104,85 @@ type Config struct {
 	ProactiveRatio float64
 }
 
-type phase uint8
-
+// Phase constants for HalfbackState.Phase.
 const (
-	phasePacing phase = iota
-	phaseROPR
-	phaseFallback
+	PhasePacing uint8 = iota
+	PhaseROPR
+	PhaseFallback
 )
 
-// Logic is the Halfback sender state machine.
-type Logic struct {
-	c    *transport.Conn
-	conf Config
+// HalfbackState is the sender's complete serializable decision state.
+// The fallback Reno engine, once started, keeps its own RenoState,
+// reachable through its own State().
+type HalfbackState struct {
+	Phase      uint8
+	PacedHi    int32 // exclusive upper bound of the paced prefix
+	PacingDone bool
 
-	phase      phase
-	pacer      *transport.Pacer
-	pacedHi    int32 // exclusive upper bound of the paced prefix
-	pacingDone bool
-
-	roprPtr     int32 // next candidate for proactive retransmission
-	roprDone    bool
-	forwardInit bool  // Forward ablation: cursor has been reset to 0
-	proCount    int32 // proactive retransmissions issued so far
-	proBudget   int32 // ~50% of the paced prefix (§5: "50% additional bandwidth")
+	RoprPtr     int32 // next candidate for proactive retransmission
+	RoprDone    bool
+	ForwardInit bool  // Forward ablation: cursor has been reset to 0
+	ProCount    int32 // proactive retransmissions issued so far
+	ProBudget   int32 // ~50% of the paced prefix (§5: "50% additional bandwidth")
 
 	// ACK-rate measurement for the fallback window (§3.3).
-	ackCount     int32
-	firstAckTime sim.Time
-	lastAckTime  sim.Time
+	AckCount     int32
+	FirstAckTime sim.Time
+	LastAckTime  sim.Time
 
-	// ratioCredit accumulates ProactiveRatio per ACK; a ROPR step
+	// RatioCredit accumulates ProactiveRatio per ACK; a ROPR step
 	// spends one whole credit, so e.g. ratio 2/3 sends two
 	// retransmissions per three ACKs.
-	ratioCredit float64
+	RatioCredit float64
 
-	// reno drives the TCP fallback for flows longer than the paced
-	// prefix; nil until the prefix is delivered.
-	reno *tcp.Reno
-
-	// reactiveSent counts loss-triggered retransmissions per segment.
+	// ReactiveSent counts loss-triggered retransmissions per segment.
 	// It is deliberately separate from the scoreboard's total
 	// retransmission counts: the "normal TCP retransmission [that]
 	// runs in parallel with ROPR" (§4.2.1) keeps its own state and is
 	// unaware of proactive copies, so a segment whose ROPR copy was
 	// itself lost is still recoverable reactively before any timeout.
-	reactiveSent []uint8
-	// lastCopyAt is when each segment was last (re)transmitted by this
+	ReactiveSent []uint8
+	// LastCopyAt is when each segment was last (re)transmitted by this
 	// logic, used to damp ROPR wrap rounds: a hole is only re-covered
 	// once its previous copy is at least one SRTT old, i.e. presumed
 	// lost. This keeps the proactive rate at one per ACK and at most
 	// one outstanding copy per segment per round trip.
-	lastCopyAt []sim.Time
-	retxBudget int
+	LastCopyAt []sim.Time
+
+	RetxBudget int
 }
 
-// New returns the Logic factory for the given configuration.
-func New(conf Config) func(*transport.Conn) transport.Logic {
+// Logic is the Halfback sender state machine.
+type Logic struct {
+	conf Config
+	st   HalfbackState
+
+	// reno drives the TCP fallback for flows longer than the paced
+	// prefix; nil until the prefix is delivered.
+	reno *tcp.Reno
+}
+
+// New returns the Controller factory for the given configuration.
+func New(conf Config) func() cc.Controller {
 	if conf.ProactiveRatio < 0 || conf.ProactiveRatio > 1 {
 		panic("core: ProactiveRatio must be in (0,1]")
 	}
 	if conf.ProactiveRatio == 0 {
 		conf.ProactiveRatio = 1
 	}
-	return func(c *transport.Conn) transport.Logic {
-		return &Logic{c: c, conf: conf, retxBudget: 1}
+	return func() cc.Controller {
+		return &Logic{conf: conf, st: HalfbackState{RetxBudget: 1}}
 	}
 }
 
 // PacedSegments reports the size of the aggressive prefix, for tests.
-func (l *Logic) PacedSegments() int32 { return l.pacedHi }
+func (l *Logic) PacedSegments() int32 { return l.st.PacedHi }
 
 // ROPRDone reports whether the proactive phase has completed.
-func (l *Logic) ROPRDone() bool { return l.roprDone }
+func (l *Logic) ROPRDone() bool { return l.st.RoprDone }
 
 // InFallback reports whether the TCP fallback engine is active.
-func (l *Logic) InFallback() bool { return l.phase == phaseFallback }
+func (l *Logic) InFallback() bool { return l.st.Phase == PhaseFallback }
 
 // FallbackCwnd returns the fallback engine's congestion window (0 if the
 // engine has not started), for tests and traces.
@@ -190,9 +194,12 @@ func (l *Logic) FallbackCwnd() float64 {
 }
 
 // OnEstablished starts the Pacing phase.
-func (l *Logic) OnEstablished(now sim.Time) {
-	hi := l.c.NumSegs
-	if w := l.c.FcwSegs(); hi > w {
+func (l *Logic) OnEstablished(env cc.Env, now sim.Time) {
+	if l.st.RetxBudget < 1 {
+		l.st.RetxBudget = 1 // zero-value state is a valid start state
+	}
+	hi := env.NumSegs()
+	if w := env.FcwSegs(); hi > w {
 		hi = w
 	}
 	if l.conf.PacingThresholdBytes > 0 {
@@ -202,7 +209,8 @@ func (l *Logic) OnEstablished(now sim.Time) {
 		}
 	}
 	if l.conf.History != nil {
-		if th := l.conf.History.thresholdFor(l.c.SrcNode(), l.c.DstNode(), l.c.Stats.HandshakeRTT); th > 0 {
+		src, dst := env.Path()
+		if th := l.conf.History.thresholdFor(src, dst, env.HandshakeRTT()); th > 0 {
 			t := int32(netem.SegmentsFor(th))
 			if t < 2 {
 				t = 2
@@ -212,49 +220,54 @@ func (l *Logic) OnEstablished(now sim.Time) {
 			}
 		}
 	}
-	l.pacedHi = hi
-	l.roprPtr = hi - 1
-	l.proBudget = (hi + 1) / 2
-	l.reactiveSent = make([]uint8, l.c.NumSegs)
-	l.lastCopyAt = make([]sim.Time, l.c.NumSegs)
+	l.st.PacedHi = hi
+	l.st.RoprPtr = hi - 1
+	l.st.ProBudget = (hi + 1) / 2
+	l.st.ReactiveSent = make([]uint8, env.NumSegs())
+	l.st.LastCopyAt = make([]sim.Time, env.NumSegs())
 
-	rtt := l.c.Stats.HandshakeRTT
+	rtt := env.HandshakeRTT()
 	if rtt <= 0 {
 		rtt = 1 * sim.Millisecond
-	}
-	markPaced := func(t sim.Time) {
-		l.pacingDone = true
-		if l.phase == phasePacing {
-			l.phase = phaseROPR
-		}
 	}
 	// §4.2.4 refinement: burst the first few segments like TCP-10,
 	// then pace the rest across the RTT.
 	lo := int32(0)
 	if b := l.conf.InitialBurst; b > 0 {
 		for lo < hi && lo < b {
-			l.c.SendSegment(lo, false, false, now)
+			env.SendSegment(lo, false, false, now)
 			lo++
 		}
 	}
-	l.pacer = l.c.PaceRange(lo, hi, rtt, markPaced)
+	env.Pace(lo, hi, rtt)
+}
+
+// OnTimer receives the pacing-complete sentinel and moves to ROPR.
+func (l *Logic) OnTimer(env cc.Env, kind cc.TimerKind, now sim.Time) {
+	if kind != cc.TimerPaceDone {
+		return
+	}
+	l.st.PacingDone = true
+	if l.st.Phase == PhasePacing {
+		l.st.Phase = PhaseROPR
+	}
 }
 
 // OnAck is the per-ACK heart of Halfback: measure the ACK rate, run the
 // parallel reactive recovery (ACK-clocked), clock ROPR, and drive the
 // fallback engine once it exists.
-func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
-	if l.firstAckTime == 0 {
-		l.firstAckTime = now
+func (l *Logic) OnAck(env cc.Env, ev cc.AckEvent, now sim.Time) {
+	if l.st.FirstAckTime == 0 {
+		l.st.FirstAckTime = now
 	}
-	l.lastAckTime = now
-	l.ackCount++
+	l.st.LastAckTime = now
+	l.st.AckCount++
 
-	sc := l.c.Score
+	sc := env.Sack()
 
 	if l.reno != nil {
 		// Fallback phase: the Reno engine owns recovery and new data.
-		l.reno.OnAck(pkt, up, now)
+		l.reno.OnAck(env, ev, now)
 		return
 	}
 
@@ -268,58 +281,72 @@ func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
 	// overwhelmingly proactive and its *normal* retransmission counts
 	// stay far below JumpStart's (Figs. 5, 10b).
 	sent := false
-	if l.pacingDone && !l.roprDone && !l.conf.DisableROPR {
-		l.ratioCredit += l.conf.ProactiveRatio
-		if l.ratioCredit >= 1 {
-			l.ratioCredit--
-			before := l.proCount
+	if l.st.PacingDone && !l.st.RoprDone && !l.conf.DisableROPR {
+		l.st.RatioCredit += l.conf.ProactiveRatio
+		if l.st.RatioCredit >= 1 {
+			l.st.RatioCredit--
+			before := l.st.ProCount
 			switch l.conf.Order {
 			case Burst:
-				l.burstProactive(now)
+				l.burstProactive(env, now)
 			case Forward:
-				l.stepForward(now)
+				l.stepForward(env, now)
 			default:
-				l.stepReverse(now)
+				l.stepReverse(env, now)
 			}
-			sent = l.proCount > before
+			sent = l.st.ProCount > before
 		}
 	}
 	if !sent {
-		l.reactiveRetransmit(now)
+		l.reactiveRetransmit(env, now)
 	}
 
 	// Enter the fallback phase once the paced prefix is delivered and
 	// the flow has more to send (§3.3).
-	if sc.CumAck() >= l.pacedHi && l.pacedHi < l.c.NumSegs {
-		l.startFallback(now)
+	if sc.CumAck() >= l.st.PacedHi && l.st.PacedHi < env.NumSegs() {
+		l.startFallback(env, now)
 	}
 }
 
-// OnRTO retransmits the first hole, like TCP; the window consequence is
+// OnLoss retransmits the first hole, like TCP; the window consequence is
 // the fallback engine's business if it is running.
-func (l *Logic) OnRTO(now sim.Time) {
-	l.retxBudget++
+func (l *Logic) OnLoss(env cc.Env, ev cc.LossEvent, now sim.Time) {
+	l.st.RetxBudget++
 	if l.reno != nil {
-		l.reno.OnRTO(now)
+		l.reno.OnLoss(env, ev, now)
 		return
 	}
-	sc := l.c.Score
-	if seq := sc.CumAck(); seq < l.c.NumSegs && sc.SentOnce(seq) && !sc.IsAcked(seq) {
-		l.c.SendSegment(seq, true, false, now)
+	sc := env.Sack()
+	if seq := sc.CumAck(); seq < env.NumSegs() && sc.SentOnce(seq) && !sc.IsAcked(seq) {
+		env.SendSegment(seq, true, false, now)
 	}
 }
 
-// OnDone stops the pacer and records the achieved throughput for the
-// adaptive-threshold history.
-func (l *Logic) OnDone(now sim.Time) {
-	if l.pacer != nil {
-		l.pacer.Stop()
+// Decision reports the current control law: pacing during phase 1, the
+// ACK clock (no window growth) during ROPR, and the fallback engine's
+// window in phase 3.
+func (l *Logic) Decision() cc.Decision {
+	if l.reno != nil {
+		return l.reno.Decision()
 	}
-	if l.conf.History != nil && l.c.Stats.Completed {
-		elapsed := l.c.Stats.SenderDone.Sub(l.c.Stats.Established)
+	if !l.st.PacingDone {
+		return cc.Decision{Pacing: true}
+	}
+	return cc.Decision{CwndSegs: float64(l.st.PacedHi)}
+}
+
+// State returns the serializable decision state.
+func (l *Logic) State() any { return &l.st }
+
+// OnDone records the achieved throughput for the adaptive-threshold
+// history (the driver has already stopped the pacer).
+func (l *Logic) OnDone(env cc.Env, now sim.Time) {
+	if l.conf.History != nil && env.Completed() {
+		elapsed := env.FinishedAt().Sub(env.EstablishedAt())
 		if elapsed > 0 {
-			l.conf.History.Observe(l.c.SrcNode(), l.c.DstNode(),
-				float64(l.c.FlowBytes)/elapsed.Seconds())
+			src, dst := env.Path()
+			l.conf.History.Observe(src, dst,
+				float64(env.FlowBytes())/elapsed.Seconds())
 		}
 	}
 }
@@ -327,16 +354,16 @@ func (l *Logic) OnDone(now sim.Time) {
 // reactiveRetransmit sends at most one SACK-confirmed lost segment per
 // ACK, with a per-segment reactive budget of one per timeout epoch. It
 // reports whether a segment was sent.
-func (l *Logic) reactiveRetransmit(now sim.Time) bool {
-	sc := l.c.Score
-	for seq := sc.CumAck(); seq < l.pacedHi; seq++ {
+func (l *Logic) reactiveRetransmit(env cc.Env, now sim.Time) bool {
+	sc := env.Sack()
+	for seq := sc.CumAck(); seq < l.st.PacedHi; seq++ {
 		if sc.IsAcked(seq) || !sc.SentOnce(seq) {
 			continue
 		}
-		if int(l.reactiveSent[seq]) < l.retxBudget && sc.DeemedLost(seq, l.c.Opts.DupThresh) {
-			l.reactiveSent[seq]++
-			l.lastCopyAt[seq] = now
-			l.c.SendSegment(seq, true, false, now)
+		if int(l.st.ReactiveSent[seq]) < l.st.RetxBudget && sc.DeemedLost(seq, env.DupThresh()) {
+			l.st.ReactiveSent[seq]++
+			l.st.LastCopyAt[seq] = now
+			env.SendSegment(seq, true, false, now)
 			return true
 		}
 	}
@@ -359,38 +386,38 @@ func (l *Logic) reactiveRetransmit(now sim.Time) bool {
 // rounds are recovery work, not overhead — each targets a segment whose
 // every prior copy was lost — and they are what lets Halfback avoid
 // retransmission timeouts almost entirely.
-func (l *Logic) stepReverse(now sim.Time) {
-	sc := l.c.Score
-	for l.roprPtr >= sc.CumAck() && sc.IsAcked(l.roprPtr) {
-		l.roprPtr--
+func (l *Logic) stepReverse(env cc.Env, now sim.Time) {
+	sc := env.Sack()
+	for l.st.RoprPtr >= sc.CumAck() && sc.IsAcked(l.st.RoprPtr) {
+		l.st.RoprPtr--
 	}
-	if l.roprPtr < sc.CumAck() {
+	if l.st.RoprPtr < sc.CumAck() {
 		// Wrap to the highest re-coverable hole: unacknowledged and
 		// with no copy younger than one SRTT.
-		srtt := l.c.RTT.SRTT()
+		srtt := env.SRTT()
 		next := int32(-1)
 		anyHole := false
-		for seq := min32(l.pacedHi, sc.HighSent()+1) - 1; seq >= sc.CumAck(); seq-- {
+		for seq := min32(l.st.PacedHi, sc.HighSent()+1) - 1; seq >= sc.CumAck(); seq-- {
 			if sc.IsAcked(seq) {
 				continue
 			}
 			anyHole = true
-			if now.Sub(l.lastCopyAt[seq]) >= srtt {
+			if now.Sub(l.st.LastCopyAt[seq]) >= srtt {
 				next = seq
 				break
 			}
 		}
 		if !anyHole {
-			l.roprDone = true
+			l.st.RoprDone = true
 			return
 		}
 		if next < 0 {
 			return // all holes have a fresh copy in flight; stay armed
 		}
-		l.roprPtr = next
+		l.st.RoprPtr = next
 	}
-	l.sendProactive(l.roprPtr, now)
-	l.roprPtr--
+	l.sendProactive(env, l.st.RoprPtr, now)
+	l.st.RoprPtr--
 }
 
 func min32(a, b int32) int32 {
@@ -405,83 +432,83 @@ func min32(a, b int32) int32 {
 // as Halfback proper. The first half of the flow is the least likely to
 // have been lost, so this spends the budget on the wrong packets —
 // exactly the effect Fig. 17 shows.
-func (l *Logic) stepForward(now sim.Time) {
-	sc := l.c.Score
-	if !l.forwardInit {
-		// Forward variant repurposes roprPtr as an ascending cursor.
-		l.forwardInit = true
-		l.roprPtr = 0
+func (l *Logic) stepForward(env cc.Env, now sim.Time) {
+	sc := env.Sack()
+	if !l.st.ForwardInit {
+		// Forward variant repurposes RoprPtr as an ascending cursor.
+		l.st.ForwardInit = true
+		l.st.RoprPtr = 0
 	}
-	if l.proCount >= l.proBudget {
-		l.roprDone = true
+	if l.st.ProCount >= l.st.ProBudget {
+		l.st.RoprDone = true
 		return
 	}
-	for l.roprPtr < l.pacedHi && sc.IsAcked(l.roprPtr) {
-		l.roprPtr++
+	for l.st.RoprPtr < l.st.PacedHi && sc.IsAcked(l.st.RoprPtr) {
+		l.st.RoprPtr++
 	}
-	if l.roprPtr >= l.pacedHi {
-		l.roprDone = true
+	if l.st.RoprPtr >= l.st.PacedHi {
+		l.st.RoprDone = true
 		return
 	}
-	l.sendProactive(l.roprPtr, now)
-	l.roprPtr++
+	l.sendProactive(env, l.st.RoprPtr, now)
+	l.st.RoprPtr++
 }
 
 // burstProactive is the §5 rate ablation: on the first post-pacing ACK,
 // the same ~50% proactive budget is spent all at once at line rate
 // (reverse order, so the same packets Halfback proper would cover).
-func (l *Logic) burstProactive(now sim.Time) {
-	sc := l.c.Score
-	for seq := l.pacedHi - 1; seq >= sc.CumAck() && l.proCount < l.proBudget; seq-- {
+func (l *Logic) burstProactive(env cc.Env, now sim.Time) {
+	sc := env.Sack()
+	for seq := l.st.PacedHi - 1; seq >= sc.CumAck() && l.st.ProCount < l.st.ProBudget; seq-- {
 		// A retransmission budget can abort the flow mid-burst; stop
 		// rather than spin SendSegment no-ops across the prefix.
-		if l.c.Finished() {
+		if env.Finished() {
 			return
 		}
 		if !sc.IsAcked(seq) {
-			l.sendProactive(seq, now)
+			l.sendProactive(env, seq, now)
 		}
 	}
-	l.roprDone = true
+	l.st.RoprDone = true
 }
 
 // sendProactive emits one proactive retransmission and charges the
 // budget.
-func (l *Logic) sendProactive(seq int32, now sim.Time) {
-	l.lastCopyAt[seq] = now
-	l.c.SendSegment(seq, true, true, now)
-	l.proCount++
+func (l *Logic) sendProactive(env cc.Env, seq int32, now sim.Time) {
+	l.st.LastCopyAt[seq] = now
+	env.SendSegment(seq, true, true, now)
+	l.st.ProCount++
 }
 
 // startFallback hands the remainder of the flow to a Reno engine whose
 // window is seeded from the ROPR-phase ACK rate: cwnd = s·RTT (§3.3).
-func (l *Logic) startFallback(now sim.Time) {
+func (l *Logic) startFallback(env cc.Env, now sim.Time) {
 	if l.reno != nil {
 		return
 	}
-	l.phase = phaseFallback
-	cwnd := l.estimateRateWindow()
-	l.reno = tcp.NewReno(l.c, tcp.Config{InitialWindow: 2})
+	l.st.Phase = PhaseFallback
+	cwnd := l.estimateRateWindow(env)
+	l.reno = tcp.NewReno(tcp.Config{InitialWindow: 2})
 	l.reno.Cwnd = cwnd
 	l.reno.Ssthresh = cwnd
-	l.reno.Pump(now)
+	l.reno.Pump(env, now)
 }
 
 // estimateRateWindow computes s·RTT in segments from the observed ACK
 // arrival rate.
-func (l *Logic) estimateRateWindow() float64 {
-	elapsed := l.lastAckTime.Sub(l.firstAckTime)
-	srtt := l.c.RTT.SRTT()
-	if elapsed <= 0 || l.ackCount < 2 || srtt <= 0 {
+func (l *Logic) estimateRateWindow(env cc.Env) float64 {
+	elapsed := l.st.LastAckTime.Sub(l.st.FirstAckTime)
+	srtt := env.SRTT()
+	if elapsed <= 0 || l.st.AckCount < 2 || srtt <= 0 {
 		return 2
 	}
-	rate := float64(l.ackCount-1) / float64(elapsed) // segments per ns
+	rate := float64(l.st.AckCount-1) / float64(elapsed) // segments per ns
 	cwnd := rate * float64(srtt)
 	if cwnd < 2 {
 		cwnd = 2
 	}
 	// Never exceed the flow-control window's worth of segments.
-	if m := float64(l.c.FcwSegs()); cwnd > m {
+	if m := float64(env.FcwSegs()); cwnd > m {
 		cwnd = m
 	}
 	return cwnd
@@ -489,5 +516,5 @@ func (l *Logic) estimateRateWindow() float64 {
 
 // DebugState summarises the logic's phase flags for tests and tracing.
 func (l *Logic) DebugState() (pacingDone, roprDone bool, roprPtr int32, proCount int32, phase uint8) {
-	return l.pacingDone, l.roprDone, l.roprPtr, l.proCount, uint8(l.phase)
+	return l.st.PacingDone, l.st.RoprDone, l.st.RoprPtr, l.st.ProCount, l.st.Phase
 }

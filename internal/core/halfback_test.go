@@ -11,15 +11,12 @@ import (
 )
 
 func mk(conf core.Config) func(*transport.Conn) transport.Logic {
-	return core.New(conf)
+	return transport.Drive(core.New(conf))
 }
 
 func dialHB(w *ptest.World, bytes int, conf core.Config) (*transport.Conn, *core.Logic) {
-	var logic *core.Logic
-	conn := w.Dial(bytes, transport.Options{}, func(c *transport.Conn) transport.Logic {
-		logic = core.New(conf)(c).(*core.Logic)
-		return logic
-	})
+	logic := core.New(conf)().(*core.Logic)
+	conn := w.DialC(bytes, transport.Options{}, logic)
 	return conn, logic
 }
 

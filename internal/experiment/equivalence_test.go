@@ -1,0 +1,105 @@
+package experiment
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"halfback/internal/netem"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+)
+
+// The differential-equivalence gate for the pluggable-congestion-control
+// refactor (DESIGN.md §10). The goldens under testdata/ were recorded
+// from the pre-refactor scheme drivers — the hand-rolled per-scheme
+// send/ACK/timer loops — so any port of a scheme onto the cc.Controller
+// interface that shifts a single byte of any exhibit fails here. Unlike
+// TestGoldenTables (which pins the cheap exhibits), this covers the
+// exhibits the paper's headline claims rest on: the fig 1 capacity
+// tradeoff, the fig 6 PlanetLab FCT distribution and the fig 15
+// throughput timelines, plus a per-scheme digest of the full
+// pre-refactor registry.
+//
+// Regenerating these goldens is only legitimate for a deliberate
+// behaviour change, never for a refactor:
+//
+//	go test ./internal/experiment -run Equivalence -update
+func TestDifferentialEquivalenceExhibits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-exhibit sweep; skipped in -short")
+	}
+	for _, id := range []string{"1", "6", "15"} {
+		id := id
+		t.Run("fig"+id, func(t *testing.T) {
+			e, err := Lookup(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := renderAll(e.Run(1, Quick))
+			compareGolden(t, filepath.Join("testdata", "fig"+id+"_quick.golden"), got)
+		})
+	}
+}
+
+// preRefactorRegistry pins the 14 scheme names that existed before the
+// congestion-controller extraction. Deliberately NOT scheme.AllNames():
+// the digest golden is a pre-refactor artifact, and schemes added after
+// the refactor (e.g. Fixed-Window) must not churn it.
+func preRefactorRegistry() []string {
+	return []string{
+		scheme.TCP, scheme.TCP10, scheme.TCPCache, scheme.Reactive,
+		scheme.Proactive, scheme.JumpStart, scheme.PCP, scheme.Halfback,
+		scheme.HalfbackForward, scheme.HalfbackBurst, scheme.PacingOnly,
+		scheme.HalfbackIB10, scheme.HalfbackTwoThirds, scheme.HalfbackAdaptive,
+	}
+}
+
+// TestDifferentialEquivalenceRegistry runs every pre-refactor scheme on
+// two fixed paths (clean and lossy) and pins the complete observable
+// behaviour of each flow — completion time, packet and retransmission
+// counts, timeouts — byte for byte. A controller port that changes any
+// decision any scheme makes shows up as a digest diff naming the scheme.
+func TestDifferentialEquivalenceRegistry(t *testing.T) {
+	paths := []struct {
+		label string
+		cfg   netem.PathConfig
+	}{
+		{"clean", netem.PathConfig{RateBps: 10 * netem.Mbps, RTT: 100 * sim.Millisecond, BufferBytes: 64 * 1024}},
+		{"lossy", netem.PathConfig{RateBps: 10 * netem.Mbps, RTT: 100 * sim.Millisecond, BufferBytes: 64 * 1024, LossProb: 0.08}},
+	}
+	out := "scheme digest: per-flow observables on fixed paths (seed 3, 50 KB)\n"
+	out += fmt.Sprintf("%-18s %-6s %9s %6s %6s %6s %5s %5s %5s\n",
+		"scheme", "path", "fct_ms", "done", "sent", "nretx", "protx", "rto", "hsrtx")
+	for _, name := range preRefactorRegistry() {
+		for _, p := range paths {
+			ps := NewPathSim(3, p.cfg)
+			st := ps.FetchOnce(scheme.MustNew(name), 50_000, 300*sim.Second)
+			out += fmt.Sprintf("%-18s %-6s %9.2f %6v %6d %6d %5d %5d %5d\n",
+				name, p.label, st.FCT().Seconds()*1000, st.Completed,
+				st.DataPktsSent, st.NormalRetx, st.ProactiveRetx,
+				st.Timeouts, st.HandshakeRetx)
+		}
+	}
+	compareGolden(t, filepath.Join("testdata", "registry_quick.golden"), out)
+}
+
+// compareGolden diffs got against the named golden, honouring -update.
+func compareGolden(t *testing.T, path, got string) {
+	t.Helper()
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		n, w, g := firstDiff(string(want), got)
+		t.Fatalf("diverges from pre-refactor golden %s at line %d:\n  golden:  %q\n  current: %q", path, n, w, g)
+	}
+}

@@ -1,0 +1,99 @@
+// Package fixedwin is the deliberately trivial scheme that demonstrates
+// the cost of adding a scheme after the congestion-controller extraction
+// (DESIGN.md §10's walkthrough): a constant sliding window of W
+// segments, no growth, no pacing, timeout recovery only through the
+// transport's RTO. It is the smallest possible Pumper controller — the
+// driver offers a send opportunity after every event, and the controller
+// fills the window, retransmissions first.
+//
+// It exists as a living example and a conformance-suite subject, not as
+// a scheme the paper evaluates.
+package fixedwin
+
+import (
+	"halfback/internal/cc"
+	"halfback/internal/sim"
+)
+
+// DefaultWindow is the constant window used by the registry entry: four
+// segments, between TCP's initial 2 and TCP-10's 10.
+const DefaultWindow = 4
+
+// FixedWinState is the controller's complete serializable state.
+type FixedWinState struct {
+	Window     int32
+	RetxBudget int
+}
+
+// Logic is the fixed-window controller.
+type Logic struct {
+	st FixedWinState
+}
+
+// New returns the Controller factory for a constant window of w segments
+// (w <= 0 selects DefaultWindow).
+func New(w int32) func() cc.Controller {
+	return func() cc.Controller {
+		return &Logic{st: FixedWinState{Window: w, RetxBudget: 1}}
+	}
+}
+
+// OnEstablished normalises the state (the zero value is a valid start
+// state) ; the driver's post-event send offer does the rest.
+func (l *Logic) OnEstablished(env cc.Env, now sim.Time) {
+	if l.st.Window < 1 {
+		l.st.Window = DefaultWindow
+	}
+	if l.st.RetxBudget < 1 {
+		l.st.RetxBudget = 1
+	}
+}
+
+// OnAck is a no-op: a fixed window has nothing to learn from an ACK.
+// The scoreboard advanced, so the driver's send offer refills the pipe.
+func (l *Logic) OnAck(env cc.Env, ev cc.AckEvent, now sim.Time) {}
+
+// OnLoss applies the timeout presumption and widens the per-segment
+// retransmission budget; the send offer retransmits.
+func (l *Logic) OnLoss(env cc.Env, ev cc.LossEvent, now sim.Time) {
+	l.st.RetxBudget++
+	env.Sack().MarkOutstandingLost()
+}
+
+// OnTimer is a no-op: the scheme owns no timers.
+func (l *Logic) OnTimer(env cc.Env, kind cc.TimerKind, now sim.Time) {}
+
+// OnSend fills the constant window: inferred losses first (so the flow
+// can finish on lossy paths), then new data under the flow-control
+// limit.
+func (l *Logic) OnSend(env cc.Env, budget int32, now sim.Time) {
+	sc := env.Sack()
+	guard := 0
+	for {
+		guard++
+		if guard > 4096 {
+			panic("fixedwin: send loop did not converge")
+		}
+		if env.Finished() {
+			return
+		}
+		if sc.Pipe(env.DupThresh()) >= l.st.Window {
+			return
+		}
+		if lost := sc.NextLost(sc.CumAck(), env.DupThresh(), l.st.RetxBudget); lost >= 0 {
+			env.SendSegment(lost, true, false, now)
+			continue
+		}
+		next := sc.HighSent() + 1
+		if next >= env.NumSegs() || next >= env.WindowLimit() {
+			return
+		}
+		env.SendSegment(next, false, false, now)
+	}
+}
+
+// Decision reports the constant window.
+func (l *Logic) Decision() cc.Decision { return cc.Decision{CwndSegs: float64(l.st.Window)} }
+
+// State returns the serializable decision state.
+func (l *Logic) State() any { return &l.st }

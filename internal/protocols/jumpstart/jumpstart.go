@@ -8,76 +8,87 @@
 package jumpstart
 
 import (
-	"halfback/internal/netem"
+	"halfback/internal/cc"
 	"halfback/internal/sim"
-	"halfback/internal/transport"
 )
 
-// Logic is the JumpStart sender.
-type Logic struct {
-	c *transport.Conn
-
-	pacer       *transport.Pacer
-	pacingDone  bool
-	ackedDuring int32 // segments acknowledged while pacing (seeds cwnd)
+// JumpStartState is the sender's complete serializable decision state.
+type JumpStartState struct {
+	PacingDone  bool
+	AckedDuring int32 // segments acknowledged while pacing (seeds cwnd)
 
 	// Post-pacing congestion state for flows longer than the initial
 	// window: plain congestion avoidance, per the fallback-to-TCP
 	// behaviour.
-	cwnd       float64
-	retxBudget int
-	// rtoRecovery is set after a timeout: the TCP that JumpStart falls
+	Cwnd       float64
+	RetxBudget int
+	// RTORecovery is set after a timeout: the TCP that JumpStart falls
 	// back to recovers in slow start (cwnd from 1, ACK-clocked), not
 	// with line-rate bursts.
-	rtoRecovery bool
+	RTORecovery bool
 }
 
-// New returns the Logic factory.
-func New() func(*transport.Conn) transport.Logic {
-	return func(c *transport.Conn) transport.Logic {
-		return &Logic{c: c, retxBudget: 1}
+// Logic is the JumpStart controller.
+type Logic struct {
+	st JumpStartState
+}
+
+// New returns the Controller factory.
+func New() func() cc.Controller {
+	return func() cc.Controller {
+		return &Logic{st: JumpStartState{RetxBudget: 1}}
 	}
 }
 
 // PacingComplete reports whether the initial paced RTT has finished.
-func (l *Logic) PacingComplete() bool { return l.pacingDone }
+func (l *Logic) PacingComplete() bool { return l.st.PacingDone }
 
-func (l *Logic) OnEstablished(now sim.Time) {
+func (l *Logic) OnEstablished(env cc.Env, now sim.Time) {
+	if l.st.RetxBudget < 1 {
+		l.st.RetxBudget = 1 // zero-value state is a valid start state
+	}
 	// Pace min(flow, fcw) across the handshake RTT.
-	hi := l.c.NumSegs
-	if w := l.c.FcwSegs(); hi > w {
+	hi := env.NumSegs()
+	if w := env.FcwSegs(); hi > w {
 		hi = w
 	}
-	rtt := l.c.Stats.HandshakeRTT
+	rtt := env.HandshakeRTT()
 	if rtt <= 0 {
 		rtt = 1 * sim.Millisecond
 	}
-	l.pacer = l.c.PaceRange(0, hi, rtt, func(t sim.Time) {
-		l.pacingDone = true
-		l.cwnd = float64(l.ackedDuring)
-		if l.cwnd < 2 {
-			l.cwnd = 2
-		}
-	})
+	env.Pace(0, hi, rtt)
 }
 
-func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
-	if !l.pacingDone {
-		l.ackedDuring += up.NewCumAcked + up.NewSacked
-	} else if up.NewCumAcked > 0 {
-		if l.rtoRecovery {
-			l.cwnd += float64(up.NewCumAcked) // slow start after timeout
+// OnTimer receives the pacing-complete sentinel and seeds the fallback
+// window from the ACKs that arrived while pacing.
+func (l *Logic) OnTimer(env cc.Env, kind cc.TimerKind, now sim.Time) {
+	if kind != cc.TimerPaceDone {
+		return
+	}
+	l.st.PacingDone = true
+	l.st.Cwnd = float64(l.st.AckedDuring)
+	if l.st.Cwnd < 2 {
+		l.st.Cwnd = 2
+	}
+}
+
+func (l *Logic) OnAck(env cc.Env, ev cc.AckEvent, now sim.Time) {
+	if !l.st.PacingDone {
+		l.st.AckedDuring += ev.NewCumAcked + ev.NewSacked
+	} else if ev.NewCumAcked > 0 {
+		if l.st.RTORecovery {
+			l.st.Cwnd += float64(ev.NewCumAcked) // slow start after timeout
 		} else {
-			l.cwnd += float64(up.NewCumAcked) / maxf(l.cwnd, 1) // congestion avoidance
+			l.st.Cwnd += float64(ev.NewCumAcked) / maxf(l.st.Cwnd, 1) // congestion avoidance
 		}
 	}
 
-	if l.rtoRecovery {
+	if l.st.RTORecovery {
 		// Post-timeout: normal TCP semantics — retransmit holes in
 		// slow start, clocked by returning ACKs and bounded by cwnd.
-		l.slowStartRecovery(now)
-		if len(l.c.Score.Holes()) == 0 {
-			l.rtoRecovery = false
+		l.slowStartRecovery(env, now)
+		if len(env.Sack().Holes()) == 0 {
+			l.st.RTORecovery = false
 		}
 	} else {
 		// Bursty reactive recovery: every segment newly deemed lost is
@@ -87,63 +98,67 @@ func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
 		// recovered by the retransmission timeout ("the sender needs
 		// to wait until timeout when the retransmitted packets are
 		// lost", §4.2.3).
-		l.burstRetransmit(now)
+		l.burstRetransmit(env, now)
 	}
 
 	// Window-limited new data for flows longer than the paced range.
-	l.pumpNew(now)
+	l.pumpNew(env, now)
 }
 
 // slowStartRecovery retransmits marked holes while the pipe has room
 // under the (re-growing) window.
-func (l *Logic) slowStartRecovery(now sim.Time) {
-	sc := l.c.Score
+func (l *Logic) slowStartRecovery(env cc.Env, now sim.Time) {
+	sc := env.Sack()
 	guard := 0
-	for float64(sc.Pipe(l.c.Opts.DupThresh)) < l.cwnd {
+	for float64(sc.Pipe(env.DupThresh())) < l.st.Cwnd {
 		guard++
 		if guard > 4096 {
 			panic("jumpstart: slow-start recovery did not converge")
 		}
 		// The retransmission budget can abort mid-loop, after which
 		// SendSegment no-ops and the hole never clears.
-		if l.c.Finished() {
+		if env.Finished() {
 			return
 		}
-		lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget)
+		lost := sc.NextLost(sc.CumAck(), env.DupThresh(), l.st.RetxBudget)
 		if lost < 0 {
 			return
 		}
-		l.c.SendSegment(lost, true, false, now)
+		env.SendSegment(lost, true, false, now)
 	}
 }
 
-// OnRTO applies the fallback TCP's timeout semantics: all outstanding
+// OnLoss applies the fallback TCP's timeout semantics: all outstanding
 // data is presumed lost, the window collapses to one segment, and the
 // first hole is retransmitted; the rest follow in slow start. The damage
 // a timeout does to JumpStart is therefore the *latency* of the 1 s RTO
 // itself plus the slow rebuild — which its loss-prone line-rate bursts
 // make it pay far more often than the paced schemes.
-func (l *Logic) OnRTO(now sim.Time) {
-	l.retxBudget++
-	l.rtoRecovery = true
-	l.cwnd = 1
-	sc := l.c.Score
+func (l *Logic) OnLoss(env cc.Env, ev cc.LossEvent, now sim.Time) {
+	l.st.RetxBudget++
+	l.st.RTORecovery = true
+	l.st.Cwnd = 1
+	sc := env.Sack()
 	sc.MarkOutstandingLost()
-	if seq := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget); seq >= 0 {
-		l.c.SendSegment(seq, true, false, now)
+	if seq := sc.NextLost(sc.CumAck(), env.DupThresh(), l.st.RetxBudget); seq >= 0 {
+		env.SendSegment(seq, true, false, now)
 	}
 }
 
-// OnDone stops the pacer if the flow finished mid-pacing (possible when
-// every segment is acknowledged from retransmissions).
-func (l *Logic) OnDone(now sim.Time) {
-	if l.pacer != nil {
-		l.pacer.Stop()
+// Decision reports pacing until the paced RTT completes, then the
+// fallback window.
+func (l *Logic) Decision() cc.Decision {
+	if !l.st.PacingDone {
+		return cc.Decision{Pacing: true}
 	}
+	return cc.Decision{CwndSegs: l.st.Cwnd}
 }
 
-func (l *Logic) burstRetransmit(now sim.Time) {
-	sc := l.c.Score
+// State returns the serializable decision state.
+func (l *Logic) State() any { return &l.st }
+
+func (l *Logic) burstRetransmit(env cc.Env, now sim.Time) {
+	sc := env.Sack()
 	guard := 0
 	for {
 		guard++
@@ -152,37 +167,37 @@ func (l *Logic) burstRetransmit(now sim.Time) {
 		}
 		// See slowStartRecovery: a budget abort mid-burst must stop
 		// the burst, not spin on the un-advancing scoreboard.
-		if l.c.Finished() {
+		if env.Finished() {
 			return
 		}
-		lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget)
+		lost := sc.NextLost(sc.CumAck(), env.DupThresh(), l.st.RetxBudget)
 		if lost < 0 {
 			return
 		}
-		l.c.SendSegment(lost, true, false, now)
+		env.SendSegment(lost, true, false, now)
 	}
 }
 
 // pumpNew sends new data beyond the paced range once pacing finished,
 // clocked by the congestion window like the TCP fallback.
-func (l *Logic) pumpNew(now sim.Time) {
-	if !l.pacingDone || l.c.Finished() {
+func (l *Logic) pumpNew(env cc.Env, now sim.Time) {
+	if !l.st.PacingDone || env.Finished() {
 		return
 	}
-	sc := l.c.Score
+	sc := env.Sack()
 	for {
-		if l.c.Finished() {
+		if env.Finished() {
 			return
 		}
 		next := sc.HighSent() + 1
-		if next >= l.c.NumSegs || next >= l.c.WindowLimit() {
+		if next >= env.NumSegs() || next >= env.WindowLimit() {
 			return
 		}
 		inFlight := float64(next - sc.CumAck() - sc.SackedAboveCum())
-		if inFlight >= l.cwnd {
+		if inFlight >= l.st.Cwnd {
 			return
 		}
-		l.c.SendSegment(next, false, false, now)
+		env.SendSegment(next, false, false, now)
 	}
 }
 

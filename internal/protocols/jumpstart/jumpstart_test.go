@@ -13,7 +13,7 @@ import (
 
 func TestCleanTransferPacedInOneRTT(t *testing.T) {
 	w := ptest.NewWorld(netem.PathConfig{RateBps: 100 * netem.Mbps})
-	st := w.Transfer(100_000, jumpstart.New())
+	st := w.TransferC(100_000, jumpstart.New())
 	if !st.Completed {
 		t.Fatal("did not complete")
 	}
@@ -31,9 +31,9 @@ func TestCleanTransferPacedInOneRTT(t *testing.T) {
 
 func TestBeatsTCPOnCleanPath(t *testing.T) {
 	wj := ptest.NewWorld(netem.PathConfig{})
-	js := wj.Transfer(100_000, jumpstart.New())
+	js := wj.TransferC(100_000, jumpstart.New())
 	wt := ptest.NewWorld(netem.PathConfig{})
-	tc := wt.Transfer(100_000, tcp.New(tcp.Config{InitialWindow: 2}))
+	tc := wt.TransferC(100_000, tcp.New(tcp.Config{InitialWindow: 2}))
 	if !(js.FCT() < tc.FCT()/2) {
 		t.Fatalf("JumpStart (%v) should be far faster than TCP (%v)", js.FCT(), tc.FCT())
 	}
@@ -49,7 +49,7 @@ func TestBurstRetransmissionOnLoss(t *testing.T) {
 		}
 		return true
 	})
-	st := w.Transfer(100_000, jumpstart.New())
+	st := w.TransferC(100_000, jumpstart.New())
 	if !st.Completed {
 		t.Fatal("did not complete")
 	}
@@ -72,7 +72,7 @@ func TestTimeoutGoBackN(t *testing.T) {
 	// path re-bursts every outstanding hole.
 	w := ptest.NewWorld(netem.PathConfig{})
 	w.DropDataSeqs(64, 65, 66, 67, 68)
-	st := w.Transfer(100_000, jumpstart.New())
+	st := w.TransferC(100_000, jumpstart.New())
 	if !st.Completed {
 		t.Fatal("did not complete")
 	}
@@ -90,7 +90,7 @@ func TestTimeoutGoBackN(t *testing.T) {
 
 func TestLongFlowContinuesAfterPacedWindow(t *testing.T) {
 	w := ptest.NewWorld(netem.PathConfig{})
-	st := w.Transfer(500_000, jumpstart.New())
+	st := w.TransferC(500_000, jumpstart.New())
 	if !st.Completed {
 		t.Fatal("long flow did not complete")
 	}
@@ -101,11 +101,8 @@ func TestLongFlowContinuesAfterPacedWindow(t *testing.T) {
 
 func TestPacingCompleteExposed(t *testing.T) {
 	w := ptest.NewWorld(netem.PathConfig{})
-	var logic *jumpstart.Logic
-	conn := w.Dial(100_000, transport.Options{}, func(c *transport.Conn) transport.Logic {
-		logic = jumpstart.New()(c).(*jumpstart.Logic)
-		return logic
-	})
+	logic := jumpstart.New()().(*jumpstart.Logic)
+	conn := w.DialC(100_000, transport.Options{}, logic)
 	conn.Start(0)
 	w.Sched.RunUntil(sim.Time(150 * sim.Millisecond)) // mid-pacing
 	if logic.PacingComplete() {

@@ -14,14 +14,16 @@
 package pcp
 
 import (
+	"halfback/internal/cc"
 	"halfback/internal/netem"
 	"halfback/internal/sim"
-	"halfback/internal/transport"
 )
 
 // Tunables for the probe process.
 const (
-	// ProbeTrainLen is the number of packets per probe train.
+	// ProbeTrainLen is the number of packets per probe train. It must
+	// not exceed cc.MaxAuxTimers: each packet of a train is scheduled
+	// on one auxiliary controller-timer slot.
 	ProbeTrainLen = 5
 	// ProbeSize is the wire size of one probe packet. PCP probes with
 	// full-size packets: a train at the target rate must itself induce
@@ -34,175 +36,164 @@ const (
 	MaxProbeRounds = 6
 )
 
-// Logic is the PCP sender.
-type Logic struct {
-	c *transport.Conn
+// PCPState is the sender's complete serializable decision state.
+type PCPState struct {
+	Rate      float64 // current verified-or-target rate, bytes/sec
+	FloorRate float64
+	Probing   bool
+	ProbeBase int32 // Seq of the round's first probe packet
+	ProbeSeq  int32 // next probe sequence number to allocate
+	OWD       [ProbeTrainLen]sim.Duration
+	Got       [ProbeTrainLen]bool
+	GotCount  int
 
-	rate       float64 // current verified-or-target rate, bytes/sec
-	floorRate  float64
-	probing    bool
-	probeRound int
-	probeBase  int32 // Seq of the round's first probe packet
-	probeSeq   int32 // next probe sequence number to allocate
-	owd        [ProbeTrainLen]sim.Duration
-	got        [ProbeTrainLen]bool
-	gotCount   int
+	ProbeSent [ProbeTrainLen]sim.Time
 
-	probeSent [ProbeTrainLen]sim.Time
+	Ticking bool
 
-	probeTimer sim.Timer
-	tickTimer  sim.Timer
-	ticking    bool
+	RetxBudget int
+	Failures   int64
+	Rounds     int64
 
-	retxBudget int
-	failures   int64
-	rounds     int64
-
-	// Loss-event bookkeeping for reorder tolerance: lossEventEnd is
+	// Loss-event bookkeeping for reorder tolerance: LossEventEnd is
 	// HighSent at the last rate cut, so deemed-lost segments at or
 	// below it belong to the already-reacted-to event and must not
 	// halve the rate again (under reordering a segment can look lost
-	// on every ACK for an entire round trip). probedRate is the last
+	// on every ACK for an entire round trip). ProbedRate is the last
 	// probe-verified rate — the ceiling recovery may climb back to.
-	lossEventEnd int32
-	probedRate   float64
+	LossEventEnd int32
+	ProbedRate   float64
 }
 
-// New returns the Logic factory.
-func New() func(*transport.Conn) transport.Logic {
-	return func(c *transport.Conn) transport.Logic {
-		return &Logic{c: c, retxBudget: 1, lossEventEnd: -1}
+// Logic is the PCP controller.
+type Logic struct {
+	st PCPState
+}
+
+// New returns the Controller factory.
+func New() func() cc.Controller {
+	return func() cc.Controller {
+		return &Logic{st: PCPState{RetxBudget: 1, LossEventEnd: -1}}
 	}
 }
 
 // Rate returns the current sending rate in bytes/sec, for tests.
-func (l *Logic) Rate() float64 { return l.rate }
+func (l *Logic) Rate() float64 { return l.st.Rate }
 
 // ProbeRounds returns how many probe trains were sent.
-func (l *Logic) ProbeRounds() int64 { return l.rounds }
+func (l *Logic) ProbeRounds() int64 { return l.st.Rounds }
 
 // ProbeFailures returns how many probe rounds detected rising delay.
-func (l *Logic) ProbeFailures() int64 { return l.failures }
+func (l *Logic) ProbeFailures() int64 { return l.st.Failures }
 
-func (l *Logic) OnEstablished(now sim.Time) {
-	rtt := l.c.Stats.HandshakeRTT
+func (l *Logic) OnEstablished(env cc.Env, now sim.Time) {
+	if l.st.RetxBudget < 1 {
+		// Zero-value state is a valid start state: restore the
+		// constructor's sentinels.
+		l.st.RetxBudget = 1
+		l.st.LossEventEnd = -1
+	}
+	rtt := env.HandshakeRTT()
 	if rtt <= 0 {
 		rtt = 100 * sim.Millisecond
 	}
 	// Optimistic first target: the whole flow (or window) in one RTT —
 	// the same ceiling the pacing schemes use. The floor is one
 	// segment per RTT, TCP's minimum pace.
-	winBytes := int(l.c.FcwSegs()) * netem.SegmentPayload
-	target := l.c.FlowBytes
+	winBytes := int(env.FcwSegs()) * netem.SegmentPayload
+	target := env.FlowBytes()
 	if target > winBytes {
 		target = winBytes
 	}
-	l.rate = float64(target) / rtt.Seconds()
-	l.floorRate = float64(netem.SegmentSize) / rtt.Seconds()
-	if l.rate < l.floorRate {
-		l.rate = l.floorRate
+	l.st.Rate = float64(target) / rtt.Seconds()
+	l.st.FloorRate = float64(netem.SegmentSize) / rtt.Seconds()
+	if l.st.Rate < l.st.FloorRate {
+		l.st.Rate = l.st.FloorRate
 	}
-	l.startProbe(now)
+	l.startProbe(env, now)
 }
 
-// startProbe sends one paced probe train at the current target rate.
-func (l *Logic) startProbe(now sim.Time) {
-	if l.c.Finished() {
+// startProbe sends one paced probe train at the current target rate:
+// packet i of the train fires from auxiliary timer slot i.
+func (l *Logic) startProbe(env cc.Env, now sim.Time) {
+	if env.Finished() {
 		return
 	}
-	l.probing = true
-	l.rounds++
-	l.probeBase = l.probeSeq
-	l.gotCount = 0
-	for i := range l.got {
-		l.got[i] = false
+	l.st.Probing = true
+	l.st.Rounds++
+	l.st.ProbeBase = l.st.ProbeSeq
+	l.st.ProbeSeq += ProbeTrainLen
+	l.st.GotCount = 0
+	for i := range l.st.Got {
+		l.st.Got[i] = false
 	}
 	interval := l.interval()
 	for i := 0; i < ProbeTrainLen; i++ {
-		seq := l.probeSeq
-		l.probeSeq++
-		idx := i
-		d := sim.Duration(i) * interval
-		l.c.Sched().After(d, func(t sim.Time) {
-			if l.c.Finished() {
-				return
-			}
-			l.probeSent[idx] = t
-			pkt := l.c.Net().NewPacket()
-			pkt.Kind, pkt.Flow = netem.KindProbe, l.c.ID
-			pkt.Src, pkt.Dst = l.c.SrcNode(), l.c.DstNode()
-			pkt.Seq, pkt.Size = seq, ProbeSize
-			pkt.Echo, pkt.AckedSeq = t, -1
-			l.c.Net().Inject(pkt, t)
-		})
+		env.ArmTimer(cc.TimerAux(i), sim.Duration(i)*interval)
 	}
 	// Probe verdict deadline: the train plus two RTTs of grace. A
 	// train whose acks never arrive counts as a failure (loss is a
 	// stronger congestion signal than delay).
-	srtt := l.c.RTT.SRTT()
+	srtt := env.SRTT()
 	if srtt <= 0 {
 		srtt = 100 * sim.Millisecond
 	}
 	deadline := sim.Duration(ProbeTrainLen)*interval + 2*srtt
-	l.probeTimer = l.c.Sched().After(deadline, func(t sim.Time) {
-		if l.probing {
-			l.probeVerdict(false, t)
-		}
-	})
+	env.ArmTimer(cc.TimerProbeDeadline, deadline)
 }
 
 // interval returns the packet spacing that emulates data at the current
 // rate.
 func (l *Logic) interval() sim.Duration {
-	if l.rate <= 0 {
+	if l.st.Rate <= 0 {
 		return sim.Second
 	}
-	return sim.Duration(float64(netem.SegmentSize) / l.rate * float64(sim.Second))
+	return sim.Duration(float64(netem.SegmentSize) / l.st.Rate * float64(sim.Second))
 }
 
-func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
-	if pkt.Kind == netem.KindProbeAck {
-		l.onProbeAck(pkt, now)
+func (l *Logic) OnAck(env cc.Env, ev cc.AckEvent, now sim.Time) {
+	if ev.Probe {
+		l.onProbeAck(env, ev, now)
 		return
 	}
 	// Data ACK: infer loss, halve once per loss event, recover toward
 	// the probe-verified rate on loss-free progress, and keep the
 	// paced stream ticking if there is more to send.
-	sc := l.c.Score
-	if lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget); lost >= 0 {
-		if lost > l.lossEventEnd {
-			l.rate = maxf(l.rate/2, l.floorRate)
-			l.lossEventEnd = sc.HighSent()
+	sc := env.Sack()
+	if lost := sc.NextLost(sc.CumAck(), env.DupThresh(), l.st.RetxBudget); lost >= 0 {
+		if lost > l.st.LossEventEnd {
+			l.st.Rate = maxf(l.st.Rate/2, l.st.FloorRate)
+			l.st.LossEventEnd = sc.HighSent()
 		}
-	} else if up.NewCumAcked > 0 && sc.CumAck() > l.lossEventEnd && l.rate < l.probedRate {
+	} else if ev.NewCumAcked > 0 && sc.CumAck() > l.st.LossEventEnd && l.st.Rate < l.st.ProbedRate {
 		// The last loss event is fully behind us; climb back, never
 		// beyond what a probe actually verified. The climb must be
 		// fast enough to escape the floor-rate regime (one packet per
 		// RTT, where every loss costs a full RTO) within a handful of
 		// loss-free ACKs on chronically lossy paths.
-		l.rate = minf(l.rate*1.25, l.probedRate)
+		l.st.Rate = minf(l.st.Rate*1.25, l.st.ProbedRate)
 	}
-	if !l.ticking && !l.probing {
-		l.startTicking(now)
+	if !l.st.Ticking && !l.st.Probing {
+		l.startTicking(env, now)
 	}
 }
 
-func (l *Logic) onProbeAck(pkt *netem.Packet, now sim.Time) {
-	if !l.probing {
+func (l *Logic) onProbeAck(env cc.Env, ev cc.AckEvent, now sim.Time) {
+	if !l.st.Probing {
 		return
 	}
-	idx := pkt.Seq - l.probeBase
-	if idx < 0 || idx >= ProbeTrainLen || l.got[idx] {
+	idx := ev.Seq - l.st.ProbeBase
+	if idx < 0 || idx >= ProbeTrainLen || l.st.Got[idx] {
 		return
 	}
-	l.got[idx] = true
-	l.owd[idx] = pkt.OWD
-	l.gotCount++
-	if l.gotCount == ProbeTrainLen {
+	l.st.Got[idx] = true
+	l.st.OWD[idx] = ev.OWD
+	l.st.GotCount++
+	if l.st.GotCount == ProbeTrainLen {
 		// Delay-trend test: a train that raised the one-way delay by
 		// more than half a packet serialization time was above the
 		// available bandwidth.
-		trend := l.owd[ProbeTrainLen-1] - l.owd[0]
+		trend := l.st.OWD[ProbeTrainLen-1] - l.st.OWD[0]
 		threshold := l.interval() / 2
 		if threshold > 500*sim.Microsecond {
 			// PCP's delay test is fine-grained: a sustained rise of
@@ -216,104 +207,124 @@ func (l *Logic) onProbeAck(pkt *netem.Packet, now sim.Time) {
 			// arrival spacing stretches by exactly the cross traffic
 			// serialized between probes, so the available bandwidth
 			// is the probing rate scaled by sent/received spacing.
-			sentSpan := l.probeSent[ProbeTrainLen-1].Sub(l.probeSent[0])
-			recvSpan := sentSpan + (l.owd[ProbeTrainLen-1] - l.owd[0])
-			first := l.probeSent[0].Add(l.owd[0])
-			last := l.probeSent[ProbeTrainLen-1].Add(l.owd[ProbeTrainLen-1])
+			sentSpan := l.st.ProbeSent[ProbeTrainLen-1].Sub(l.st.ProbeSent[0])
+			recvSpan := sentSpan + (l.st.OWD[ProbeTrainLen-1] - l.st.OWD[0])
+			first := l.st.ProbeSent[0].Add(l.st.OWD[0])
+			last := l.st.ProbeSent[ProbeTrainLen-1].Add(l.st.OWD[ProbeTrainLen-1])
 			if m := last.Sub(first); m > recvSpan {
 				recvSpan = m
 			}
 			if recvSpan > sentSpan && sentSpan > 0 {
-				l.rate = maxf(l.rate*float64(sentSpan)/float64(recvSpan), l.floorRate)
+				l.st.Rate = maxf(l.st.Rate*float64(sentSpan)/float64(recvSpan), l.st.FloorRate)
 			}
 		}
-		l.probeVerdict(ok, now)
+		l.probeVerdict(env, ok, now)
 	}
 }
 
-func (l *Logic) probeVerdict(ok bool, now sim.Time) {
-	l.probeTimer.Stop()
-	l.probing = false
-	if ok || l.rounds >= MaxProbeRounds {
+func (l *Logic) probeVerdict(env cc.Env, ok bool, now sim.Time) {
+	env.StopTimer(cc.TimerProbeDeadline)
+	l.st.Probing = false
+	if ok || l.st.Rounds >= MaxProbeRounds {
 		if !ok {
-			l.failures++
-			l.rate = maxf(l.rate/2, l.floorRate)
+			l.st.Failures++
+			l.st.Rate = maxf(l.st.Rate/2, l.st.FloorRate)
 		}
-		l.probedRate = l.rate
-		l.startTicking(now)
+		l.st.ProbedRate = l.st.Rate
+		l.startTicking(env, now)
 		return
 	}
-	l.failures++
-	l.rate = maxf(l.rate/2, l.floorRate)
+	l.st.Failures++
+	l.st.Rate = maxf(l.st.Rate/2, l.st.FloorRate)
 	// PCP pauses before re-probing, yielding to whatever is building
 	// the queue.
-	srtt := l.c.RTT.SRTT()
+	srtt := env.SRTT()
 	if srtt <= 0 {
 		srtt = 100 * sim.Millisecond
 	}
-	l.c.Sched().After(srtt, func(t sim.Time) {
-		if !l.c.Finished() {
-			l.startProbe(t)
-		}
-	})
+	env.ArmTimer(cc.TimerReprobe, srtt)
 }
 
 // startTicking begins (or resumes) the paced data stream at the current
 // rate.
-func (l *Logic) startTicking(now sim.Time) {
-	if l.ticking || l.c.Finished() {
+func (l *Logic) startTicking(env cc.Env, now sim.Time) {
+	if l.st.Ticking || env.Finished() {
 		return
 	}
-	l.ticking = true
-	l.tick(now)
+	l.st.Ticking = true
+	l.tick(env, now)
 }
 
-func (l *Logic) tick(now sim.Time) {
-	if l.c.Finished() {
-		l.ticking = false
+func (l *Logic) tick(env cc.Env, now sim.Time) {
+	if env.Finished() {
+		l.st.Ticking = false
 		return
 	}
-	sc := l.c.Score
+	sc := env.Sack()
 	sent := false
-	if lost := sc.NextLost(sc.CumAck(), l.c.Opts.DupThresh, l.retxBudget); lost >= 0 {
-		l.c.SendSegment(lost, true, false, now)
+	if lost := sc.NextLost(sc.CumAck(), env.DupThresh(), l.st.RetxBudget); lost >= 0 {
+		env.SendSegment(lost, true, false, now)
 		sent = true
-	} else if next := sc.HighSent() + 1; next < l.c.NumSegs && next < l.c.WindowLimit() {
-		l.c.SendSegment(next, false, false, now)
+	} else if next := sc.HighSent() + 1; next < env.NumSegs() && next < env.WindowLimit() {
+		env.SendSegment(next, false, false, now)
 		sent = true
 	}
-	if !sent || l.c.Finished() {
+	if !sent || env.Finished() {
 		// Nothing sendable, or the send itself exhausted the flow's
 		// retransmission budget: stop. An ACK or RTO restarts the
 		// stream; a terminal flow must not leave a tick scheduled.
-		l.ticking = false
+		l.st.Ticking = false
 		return
 	}
-	l.tickTimer = l.c.Sched().AfterFunc(l.interval(), pcpTick, l)
+	env.ArmTimer(cc.TimerTick, l.interval())
 }
 
-// pcpTick is the closure-free pacing tick: one fires per data packet for
-// the whole transfer, so it must not allocate.
-func pcpTick(now sim.Time, arg any) { arg.(*Logic).tick(now) }
-
-func (l *Logic) OnRTO(now sim.Time) {
-	l.retxBudget++
-	l.rate = maxf(l.rate/2, l.floorRate)
-	sc := l.c.Score
-	l.lossEventEnd = sc.HighSent()
-	if seq := sc.CumAck(); seq < l.c.NumSegs && sc.SentOnce(seq) && !sc.IsAcked(seq) {
-		l.c.SendSegment(seq, true, false, now)
+// OnTimer dispatches the controller's timers: probe-train packets (aux
+// slots), the probe verdict deadline, the re-probe pause, and the data
+// pacing tick.
+func (l *Logic) OnTimer(env cc.Env, kind cc.TimerKind, now sim.Time) {
+	if i, ok := kind.Aux(); ok {
+		if i >= ProbeTrainLen || env.Finished() {
+			return
+		}
+		l.st.ProbeSent[i] = now
+		env.SendProbe(l.st.ProbeBase+int32(i), ProbeSize, now)
+		return
 	}
-	if !l.ticking && !l.probing {
-		l.startTicking(now)
+	switch kind {
+	case cc.TimerProbeDeadline:
+		if l.st.Probing {
+			l.probeVerdict(env, false, now)
+		}
+	case cc.TimerReprobe:
+		if !env.Finished() {
+			l.startProbe(env, now)
+		}
+	case cc.TimerTick:
+		l.tick(env, now)
 	}
 }
 
-// OnDone stops the protocol's private timers.
-func (l *Logic) OnDone(now sim.Time) {
-	l.probeTimer.Stop()
-	l.tickTimer.Stop()
+func (l *Logic) OnLoss(env cc.Env, ev cc.LossEvent, now sim.Time) {
+	l.st.RetxBudget++
+	l.st.Rate = maxf(l.st.Rate/2, l.st.FloorRate)
+	sc := env.Sack()
+	l.st.LossEventEnd = sc.HighSent()
+	if seq := sc.CumAck(); seq < env.NumSegs() && sc.SentOnce(seq) && !sc.IsAcked(seq) {
+		env.SendSegment(seq, true, false, now)
+	}
+	if !l.st.Ticking && !l.st.Probing {
+		l.startTicking(env, now)
+	}
 }
+
+// Decision reports the current rate; PCP is always rate-paced.
+func (l *Logic) Decision() cc.Decision {
+	return cc.Decision{RateBps: l.st.Rate, Pacing: true}
+}
+
+// State returns the serializable decision state.
+func (l *Logic) State() any { return &l.st }
 
 func maxf(a, b float64) float64 {
 	if a > b {

@@ -12,15 +12,12 @@ import (
 )
 
 func tcpNew() func(*transport.Conn) transport.Logic {
-	return tcp.New(tcp.Config{InitialWindow: 2})
+	return transport.Drive(tcp.New(tcp.Config{InitialWindow: 2}))
 }
 
 func dialPCP(w *ptest.World, bytes int) (*transport.Conn, *pcp.Logic) {
-	var logic *pcp.Logic
-	conn := w.Dial(bytes, transport.Options{}, func(c *transport.Conn) transport.Logic {
-		logic = pcp.New()(c).(*pcp.Logic)
-		return logic
-	})
+	logic := pcp.New()().(*pcp.Logic)
+	conn := w.DialC(bytes, transport.Options{}, logic)
 	return conn, logic
 }
 

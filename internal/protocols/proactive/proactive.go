@@ -6,28 +6,28 @@
 package proactive
 
 import (
+	"halfback/internal/cc"
 	"halfback/internal/protocols/tcp"
 	"halfback/internal/sim"
-	"halfback/internal/transport"
 )
 
-// New returns the Logic factory: a Reno engine whose send hook emits a
-// back-to-back duplicate of every first transmission. Reactive
+// New returns the Controller factory: a Reno engine whose send hook
+// emits a back-to-back duplicate of every first transmission. Reactive
 // retransmissions are not doubled (the scheme's redundancy targets fresh
 // data; doubling recovery traffic would only add to its safety problems,
 // and [18] describes per-packet duplication of the flow's data).
-func New(icw int32) func(*transport.Conn) transport.Logic {
-	return func(c *transport.Conn) transport.Logic {
+func New(icw int32) func() cc.Controller {
+	return func() cc.Controller {
 		conf := tcp.Config{InitialWindow: icw}
-		conf.OnSend = func(seq int32, retransmit bool, now sim.Time) {
-			if retransmit || c.Finished() {
+		conf.OnSend = func(env cc.Env, seq int32, retransmit bool, now sim.Time) {
+			if retransmit || env.Finished() {
 				return
 			}
 			// The duplicate is a proactive retransmission in the
 			// paper's accounting: redundant data sent without any
 			// loss signal.
-			c.SendSegment(seq, true, true, now)
+			env.SendSegment(seq, true, true, now)
 		}
-		return tcp.NewReno(c, conf)
+		return tcp.NewReno(conf)
 	}
 }

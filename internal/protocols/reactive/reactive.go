@@ -6,79 +6,89 @@
 package reactive
 
 import (
-	"halfback/internal/netem"
+	"halfback/internal/cc"
 	"halfback/internal/protocols/tcp"
 	"halfback/internal/sim"
-	"halfback/internal/transport"
 )
 
 // MinPTO is the probe-timeout floor (the TLP draft's 10 ms).
 const MinPTO = 10 * sim.Millisecond
 
-// Logic is Reactive TCP: an embedded Reno engine plus the tail probe.
-type Logic struct {
-	reno *tcp.Reno
-	c    *transport.Conn
-
-	pto        sim.Timer
-	ptoAttempt int
-	probes     int64
-	maxProbe   int
+// ReactiveState is the probe layer's serializable decision state. The
+// embedded Reno engine keeps its own RenoState, reachable through its
+// own State().
+type ReactiveState struct {
+	ProbesSent int64
+	PTOAttempt int // consecutive probes without forward progress
+	MaxProbe   int // probes per tail episode before yielding to the RTO
 }
 
-// New returns the Logic factory. icw is the initial congestion window
-// (Reactive TCP keeps the paper's default of 2).
-func New(icw int32) func(*transport.Conn) transport.Logic {
-	return func(c *transport.Conn) transport.Logic {
+// Logic is Reactive TCP: a wrapped Reno engine plus the tail probe.
+type Logic struct {
+	st   ReactiveState
+	reno *tcp.Reno
+}
+
+// New returns the Controller factory. icw is the initial congestion
+// window (Reactive TCP keeps the paper's default of 2).
+func New(icw int32) func() cc.Controller {
+	return func() cc.Controller {
 		return &Logic{
-			reno:     tcp.NewReno(c, tcp.Config{InitialWindow: icw}),
-			c:        c,
-			maxProbe: 2, // at most two probes per tail episode, then RTO
+			st:   ReactiveState{MaxProbe: 2}, // at most two probes per tail episode, then RTO
+			reno: tcp.NewReno(tcp.Config{InitialWindow: icw}),
 		}
 	}
 }
 
 // Probes reports how many tail probes this flow sent.
-func (l *Logic) Probes() int64 { return l.probes }
+func (l *Logic) Probes() int64 { return l.st.ProbesSent }
 
-func (l *Logic) OnEstablished(now sim.Time) {
-	l.reno.OnEstablished(now)
-	l.armPTO(now, 0)
+func (l *Logic) OnEstablished(env cc.Env, now sim.Time) {
+	if l.st.MaxProbe < 1 {
+		l.st.MaxProbe = 2 // zero-value state is a valid start state
+	}
+	l.reno.OnEstablished(env, now)
+	l.armPTO(env, now, 0)
 }
 
-func (l *Logic) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
-	l.reno.OnAck(pkt, up, now)
-	if !up.Duplicate {
-		l.armPTO(now, 0) // forward progress resets the probe budget
+func (l *Logic) OnAck(env cc.Env, ev cc.AckEvent, now sim.Time) {
+	l.reno.OnAck(env, ev, now)
+	if !ev.Duplicate {
+		l.armPTO(env, now, 0) // forward progress resets the probe budget
 	}
 }
 
-func (l *Logic) OnRTO(now sim.Time) {
-	l.cancelPTO()
-	l.reno.OnRTO(now)
-	l.armPTO(now, 0)
+func (l *Logic) OnLoss(env cc.Env, ev cc.LossEvent, now sim.Time) {
+	env.StopTimer(cc.TimerPTO)
+	l.reno.OnLoss(env, ev, now)
+	l.armPTO(env, now, 0)
 }
 
-// OnDone releases the probe timer.
-func (l *Logic) OnDone(now sim.Time) {
-	l.cancelPTO()
-	l.reno.OnDone(now)
-}
-
-func (l *Logic) cancelPTO() {
-	l.pto.Stop()
-}
-
-// armPTO schedules the tail probe: PTO = max(2·SRTT, MinPTO). attempt
-// tracks consecutive probes without forward progress. The probe is
-// re-armed on every cumulative ACK, so the event is scheduled
-// closure-free with the attempt counter carried on the Logic.
-func (l *Logic) armPTO(now sim.Time, attempt int) {
-	l.cancelPTO()
-	if l.c.Finished() || attempt >= l.maxProbe {
+// OnTimer fires the tail probe.
+func (l *Logic) OnTimer(env cc.Env, kind cc.TimerKind, now sim.Time) {
+	if kind != cc.TimerPTO {
 		return
 	}
-	srtt := l.c.RTT.SRTT()
+	l.fireProbe(env, now, l.st.PTOAttempt)
+}
+
+// Decision reports the Reno engine's window.
+func (l *Logic) Decision() cc.Decision { return l.reno.Decision() }
+
+// State returns the probe layer's serializable state.
+func (l *Logic) State() any { return &l.st }
+
+// Reno exposes the wrapped engine, for tests.
+func (l *Logic) Reno() *tcp.Reno { return l.reno }
+
+// armPTO schedules the tail probe: PTO = max(2·SRTT, MinPTO). attempt
+// tracks consecutive probes without forward progress.
+func (l *Logic) armPTO(env cc.Env, now sim.Time, attempt int) {
+	env.StopTimer(cc.TimerPTO)
+	if env.Finished() || attempt >= l.st.MaxProbe {
+		return
+	}
+	srtt := env.SRTT()
 	if srtt <= 0 {
 		srtt = 100 * sim.Millisecond
 	}
@@ -86,30 +96,25 @@ func (l *Logic) armPTO(now sim.Time, attempt int) {
 	if pto < MinPTO {
 		pto = MinPTO
 	}
-	l.ptoAttempt = attempt
-	l.pto = l.c.Sched().AfterFunc(pto, firePTO, l)
+	l.st.PTOAttempt = attempt
+	env.ArmTimer(cc.TimerPTO, pto)
 }
 
-func firePTO(t sim.Time, arg any) {
-	l := arg.(*Logic)
-	l.fireProbe(t, l.ptoAttempt)
-}
-
-func (l *Logic) fireProbe(now sim.Time, attempt int) {
-	if l.c.Finished() {
+func (l *Logic) fireProbe(env cc.Env, now sim.Time, attempt int) {
+	if env.Finished() {
 		return
 	}
-	sc := l.c.Score
+	sc := env.Sack()
 	// Only probe a genuine tail: outstanding data with nothing new to
 	// send (either flow exhausted or window-limited).
 	seq := sc.HighestUnacked()
 	if seq < 0 {
 		return
 	}
-	l.probes++
+	l.st.ProbesSent++
 	// The probe is a reactive retransmission — triggered by suspicion
 	// of loss — so it counts as a normal retransmission, as in the
 	// paper's accounting.
-	l.c.SendSegment(seq, true, false, now)
-	l.armPTO(now, attempt+1)
+	env.SendSegment(seq, true, false, now)
+	l.armPTO(env, now, attempt+1)
 }

@@ -13,11 +13,8 @@ import (
 
 func TestCleanTransferNoProbes(t *testing.T) {
 	w := ptest.NewWorld(netem.PathConfig{})
-	var logic *reactive.Logic
-	conn := w.Dial(100_000, transport.Options{}, func(c *transport.Conn) transport.Logic {
-		logic = reactive.New(2)(c).(*reactive.Logic)
-		return logic
-	})
+	logic := reactive.New(2)().(*reactive.Logic)
+	conn := w.DialC(100_000, transport.Options{}, logic)
 	conn.Start(0)
 	w.Sched.RunUntil(sim.Time(120 * sim.Second))
 	conn.Abort()
@@ -38,8 +35,8 @@ func TestTailProbeBeatsTimeout(t *testing.T) {
 		w.DropDataSeqs(68)
 		return w.Transfer(100_000, mk)
 	}
-	re := runScheme(reactive.New(2))
-	tc := runScheme(tcp.New(tcp.Config{InitialWindow: 2}))
+	re := runScheme(transport.Drive(reactive.New(2)))
+	tc := runScheme(transport.Drive(tcp.New(tcp.Config{InitialWindow: 2})))
 	if !re.Completed || !tc.Completed {
 		t.Fatal("transfers did not complete")
 	}
@@ -61,11 +58,8 @@ func TestTailProbeBeatsTimeout(t *testing.T) {
 func TestProbeCountsAsNormalRetx(t *testing.T) {
 	w := ptest.NewWorld(netem.PathConfig{})
 	w.DropDataSeqs(68)
-	var logic *reactive.Logic
-	conn := w.Dial(100_000, transport.Options{}, func(c *transport.Conn) transport.Logic {
-		logic = reactive.New(2)(c).(*reactive.Logic)
-		return logic
-	})
+	logic := reactive.New(2)().(*reactive.Logic)
+	conn := w.DialC(100_000, transport.Options{}, logic)
 	conn.Start(0)
 	w.Sched.RunUntil(sim.Time(120 * sim.Second))
 	conn.Abort()
@@ -81,11 +75,8 @@ func TestProbeBudgetBounded(t *testing.T) {
 	// Blackhole everything after establishment: the probe must not
 	// fire unboundedly (two per episode, then RTO handles it).
 	w := ptest.NewWorld(netem.PathConfig{})
-	var logic *reactive.Logic
-	conn := w.Dial(50_000, transport.Options{}, func(c *transport.Conn) transport.Logic {
-		logic = reactive.New(2)(c).(*reactive.Logic)
-		return logic
-	})
+	logic := reactive.New(2)().(*reactive.Logic)
+	conn := w.DialC(50_000, transport.Options{}, logic)
 	w.TapClient(func(pkt *netem.Packet, now sim.Time) bool {
 		return pkt.Kind != netem.KindData // swallow all data forever
 	})

@@ -4,14 +4,13 @@
 // TCP-Cache (per-path caching of cwnd/ssthresh, after TCP Fast Start).
 //
 // The implementation follows RFC 5681 (congestion control), RFC 6675
-// (SACK-based recovery and pipe estimation) and Karn's rule, on top of
-// the shared transport substrate.
+// (SACK-based recovery and pipe estimation) and Karn's rule, expressed
+// as a cc.Controller driven by the transport's generic loop.
 package tcp
 
 import (
-	"halfback/internal/netem"
+	"halfback/internal/cc"
 	"halfback/internal/sim"
-	"halfback/internal/transport"
 )
 
 // Config selects the TCP variant.
@@ -27,49 +26,76 @@ type Config struct {
 
 	// OnSend, when non-nil, runs after every data transmission; the
 	// Proactive TCP wrapper uses it to emit duplicate copies.
-	OnSend func(seq int32, retransmit bool, now sim.Time)
+	OnSend func(env cc.Env, seq int32, retransmit bool, now sim.Time)
 }
 
-// Reno is the protocol logic. It is exported so the Reactive and
-// Proactive packages can wrap it.
-type Reno struct {
-	C    *transport.Conn
-	Conf Config
-
+// RenoState is Reno's complete serializable decision state.
+type RenoState struct {
 	Cwnd     float64 // congestion window, segments
 	Ssthresh float64
 
-	inRecovery    bool
-	recoveryPoint int32
-	// retxBudget is how many retransmissions of one segment the
+	InRecovery    bool
+	RecoveryPoint int32
+	// RetxBudget is how many retransmissions of one segment the
 	// SACK-recovery path may issue; it grows with timeouts so a flow
 	// can always eventually make progress.
-	retxBudget int
+	RetxBudget int
 }
 
-// New returns a Logic factory for the given configuration.
-func New(conf Config) func(*transport.Conn) transport.Logic {
-	return func(c *transport.Conn) transport.Logic { return NewReno(c, conf) }
+// Reno is the controller. It is exported so the Reactive and Proactive
+// packages can wrap it and Halfback's fallback phase can drive it.
+type Reno struct {
+	Conf Config
+	RenoState
 }
 
-// NewReno constructs the Reno logic on a connection.
-func NewReno(c *transport.Conn, conf Config) *Reno {
+// New returns a Controller factory for the given configuration.
+func New(conf Config) func() cc.Controller {
+	return func() cc.Controller { return NewReno(conf) }
+}
+
+// NewReno constructs the Reno controller.
+func NewReno(conf Config) *Reno {
 	if conf.InitialWindow <= 0 {
 		conf.InitialWindow = 2
 	}
 	return &Reno{
-		C: c, Conf: conf,
-		Cwnd:       float64(conf.InitialWindow),
-		Ssthresh:   1 << 20, // "infinite": slow start until first loss
-		retxBudget: 1,
+		Conf: conf,
+		RenoState: RenoState{
+			Cwnd:       float64(conf.InitialWindow),
+			Ssthresh:   1 << 20, // "infinite": slow start until first loss
+			RetxBudget: 1,
+		},
+	}
+}
+
+// ensureDefaults makes the zero value of RenoState a valid start state:
+// a restored-from-scratch controller slow-starts from the configured
+// initial window. Constructor-seeded (or cache-warmed) values pass
+// through untouched.
+func (r *Reno) ensureDefaults() {
+	if r.Cwnd < 1 {
+		icw := r.Conf.InitialWindow
+		if icw <= 0 {
+			icw = 2
+		}
+		r.Cwnd = float64(icw)
+	}
+	if r.Ssthresh < 2 {
+		r.Ssthresh = 1 << 20
+	}
+	if r.RetxBudget < 1 {
+		r.RetxBudget = 1
 	}
 }
 
 // OnEstablished seeds the window (from the cache if warm) and sends the
 // initial burst.
-func (r *Reno) OnEstablished(now sim.Time) {
+func (r *Reno) OnEstablished(env cc.Env, now sim.Time) {
+	r.ensureDefaults()
 	if r.Conf.Cache != nil {
-		if e, ok := r.Conf.Cache.Lookup(r.C.SrcNode(), r.C.DstNode()); ok {
+		src, dst := env.Path()
+		if e, ok := r.Conf.Cache.Lookup(src, dst); ok {
 			if e.Cwnd >= 1 {
 				r.Cwnd = e.Cwnd
 			}
@@ -78,64 +104,74 @@ func (r *Reno) OnEstablished(now sim.Time) {
 			}
 		}
 	}
-	r.pump(now)
+	r.pump(env, now)
 }
 
 // OnAck advances the window and drives RFC 6675-style recovery.
-func (r *Reno) OnAck(pkt *netem.Packet, up transport.AckUpdate, now sim.Time) {
-	sc := r.C.Score
+func (r *Reno) OnAck(env cc.Env, ev cc.AckEvent, now sim.Time) {
+	sc := env.Sack()
 
-	if up.NewCumAcked > 0 {
-		if r.inRecovery && sc.CumAck() > r.recoveryPoint {
+	if ev.NewCumAcked > 0 {
+		if r.InRecovery && sc.CumAck() > r.RecoveryPoint {
 			// Recovery complete: deflate to ssthresh.
-			r.inRecovery = false
+			r.InRecovery = false
 			r.Cwnd = r.Ssthresh
 		}
-		if !r.inRecovery {
+		if !r.InRecovery {
 			if r.Cwnd < r.Ssthresh {
-				r.Cwnd += float64(up.NewCumAcked) // slow start
+				r.Cwnd += float64(ev.NewCumAcked) // slow start
 			} else {
-				r.Cwnd += float64(up.NewCumAcked) / r.Cwnd // congestion avoidance
+				r.Cwnd += float64(ev.NewCumAcked) / r.Cwnd // congestion avoidance
 			}
 		}
 	}
 
 	// Loss inference: a hole with DupThresh SACKed segments above it.
-	if !r.inRecovery {
-		if lost := sc.NextLost(sc.CumAck(), r.C.Opts.DupThresh, r.retxBudget); lost >= 0 {
-			r.enterRecovery(now)
+	if !r.InRecovery {
+		if lost := sc.NextLost(sc.CumAck(), env.DupThresh(), r.RetxBudget); lost >= 0 {
+			r.enterRecovery(env, now)
 		}
 	}
-	r.pump(now)
+	r.pump(env, now)
 }
 
-func (r *Reno) enterRecovery(now sim.Time) {
-	sc := r.C.Score
-	pipe := float64(sc.Pipe(r.C.Opts.DupThresh))
+func (r *Reno) enterRecovery(env cc.Env, now sim.Time) {
+	sc := env.Sack()
+	pipe := float64(sc.Pipe(env.DupThresh()))
 	r.Ssthresh = maxf(pipe/2, 2)
 	r.Cwnd = r.Ssthresh
-	r.inRecovery = true
-	r.recoveryPoint = sc.HighSent()
+	r.InRecovery = true
+	r.RecoveryPoint = sc.HighSent()
 }
 
-// OnRTO collapses the window, presumes all outstanding data lost (RFC
-// 5681), and retransmits the first hole; subsequent holes follow in slow
-// start as ACKs return.
-func (r *Reno) OnRTO(now sim.Time) {
-	sc := r.C.Score
-	pipe := float64(sc.Pipe(r.C.Opts.DupThresh))
+// OnLoss handles the retransmission timeout: collapse the window,
+// presume all outstanding data lost (RFC 5681), and retransmit the
+// first hole; subsequent holes follow in slow start as ACKs return.
+func (r *Reno) OnLoss(env cc.Env, ev cc.LossEvent, now sim.Time) {
+	sc := env.Sack()
+	pipe := float64(sc.Pipe(env.DupThresh()))
 	r.Ssthresh = maxf(pipe/2, 2)
 	r.Cwnd = 1
-	r.inRecovery = false
-	r.retxBudget++
+	r.InRecovery = false
+	r.RetxBudget++
 	sc.MarkOutstandingLost()
-	r.transmit(sc.CumAck(), true, now)
+	r.transmit(env, sc.CumAck(), true, now)
 }
 
+// OnTimer is a no-op: Reno owns no controller timers.
+func (r *Reno) OnTimer(env cc.Env, kind cc.TimerKind, now sim.Time) {}
+
+// Decision reports the current window.
+func (r *Reno) Decision() cc.Decision { return cc.Decision{CwndSegs: r.Cwnd} }
+
+// State returns the serializable decision state.
+func (r *Reno) State() any { return &r.RenoState }
+
 // OnDone writes the final window back to the path cache.
-func (r *Reno) OnDone(now sim.Time) {
+func (r *Reno) OnDone(env cc.Env, now sim.Time) {
 	if r.Conf.Cache != nil {
-		r.Conf.Cache.Store(r.C.SrcNode(), r.C.DstNode(), CacheEntry{
+		src, dst := env.Path()
+		r.Conf.Cache.Store(src, dst, CacheEntry{
 			Cwnd: r.Cwnd, Ssthresh: r.Ssthresh, StoredAt: now,
 		})
 	}
@@ -143,23 +179,23 @@ func (r *Reno) OnDone(now sim.Time) {
 
 // Pump exposes the window-filling loop so schemes that fall back to TCP
 // mid-flow (Halfback §3.3) can drive the engine directly.
-func (r *Reno) Pump(now sim.Time) { r.pump(now) }
+func (r *Reno) Pump(env cc.Env, now sim.Time) { r.pump(env, now) }
 
-// transmit sends one segment through the conn and the OnSend hook.
-func (r *Reno) transmit(seq int32, retransmit bool, now sim.Time) {
-	r.C.SendSegment(seq, retransmit, false, now)
+// transmit sends one segment through the env and the OnSend hook.
+func (r *Reno) transmit(env cc.Env, seq int32, retransmit bool, now sim.Time) {
+	env.SendSegment(seq, retransmit, false, now)
 	if r.Conf.OnSend != nil {
-		r.Conf.OnSend(seq, retransmit, now)
+		r.Conf.OnSend(env, seq, retransmit, now)
 	}
 }
 
 // pump fills the window: retransmissions of inferred losses first (RFC
 // 6675 NextSeg rule), then new data, while the pipe has room.
-func (r *Reno) pump(now sim.Time) {
-	if r.C.Finished() || !r.C.Established() {
+func (r *Reno) pump(env cc.Env, now sim.Time) {
+	if env.Finished() || !env.Established() {
 		return
 	}
-	sc := r.C.Score
+	sc := env.Sack()
 	guard := 0
 	for {
 		guard++
@@ -169,22 +205,22 @@ func (r *Reno) pump(now sim.Time) {
 		// A retransmission budget can abort the flow mid-loop; once
 		// terminal, SendSegment is a no-op and the scoreboard stops
 		// advancing, so looping further would spin to the guard panic.
-		if r.C.Finished() {
+		if env.Finished() {
 			return
 		}
-		pipe := sc.Pipe(r.C.Opts.DupThresh)
+		pipe := sc.Pipe(env.DupThresh())
 		if float64(pipe) >= r.Cwnd {
 			return
 		}
-		if lost := sc.NextLost(sc.CumAck(), r.C.Opts.DupThresh, r.retxBudget); lost >= 0 {
-			r.transmit(lost, true, now)
+		if lost := sc.NextLost(sc.CumAck(), env.DupThresh(), r.RetxBudget); lost >= 0 {
+			r.transmit(env, lost, true, now)
 			continue
 		}
 		next := sc.HighSent() + 1
-		if next >= r.C.NumSegs || next >= r.C.WindowLimit() {
+		if next >= env.NumSegs() || next >= env.WindowLimit() {
 			return
 		}
-		r.transmit(next, false, now)
+		r.transmit(env, next, false, now)
 	}
 }
 

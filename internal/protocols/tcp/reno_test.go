@@ -3,6 +3,7 @@ package tcp_test
 import (
 	"testing"
 
+	"halfback/internal/cc"
 	"halfback/internal/netem"
 	"halfback/internal/protocols/tcp"
 	"halfback/internal/ptest"
@@ -12,7 +13,7 @@ import (
 
 func transfer(t *testing.T, w *ptest.World, bytes int, conf tcp.Config) *transport.FlowStats {
 	t.Helper()
-	return w.Transfer(bytes, tcp.New(conf))
+	return w.TransferC(bytes, tcp.New(conf))
 }
 
 func TestSlowStartCleanTransfer(t *testing.T) {
@@ -137,7 +138,7 @@ func TestTCPCacheWarmStartIsFaster(t *testing.T) {
 func TestOnSendHookFires(t *testing.T) {
 	w := ptest.NewWorld(netem.PathConfig{})
 	sends := 0
-	conf := tcp.Config{InitialWindow: 2, OnSend: func(seq int32, retransmit bool, now sim.Time) {
+	conf := tcp.Config{InitialWindow: 2, OnSend: func(env cc.Env, seq int32, retransmit bool, now sim.Time) {
 		sends++
 	}}
 	st := transfer(t, w, 50_000, conf)
@@ -148,11 +149,8 @@ func TestOnSendHookFires(t *testing.T) {
 
 func TestRenoWindowHalvesOnLoss(t *testing.T) {
 	w := ptest.NewWorld(netem.PathConfig{})
-	var reno *tcp.Reno
-	conn := w.Dial(200_000, transport.Options{}, func(c *transport.Conn) transport.Logic {
-		reno = tcp.NewReno(c, tcp.Config{InitialWindow: 10})
-		return reno
-	})
+	reno := tcp.NewReno(tcp.Config{InitialWindow: 10})
+	conn := w.DialC(200_000, transport.Options{}, reno)
 	w.DropDataSeqs(20)
 	conn.Start(0)
 	w.Sched.RunUntil(sim.Time(60 * sim.Second))

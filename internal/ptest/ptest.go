@@ -4,6 +4,7 @@
 package ptest
 
 import (
+	"halfback/internal/cc"
 	"halfback/internal/netem"
 	"halfback/internal/sim"
 	"halfback/internal/transport"
@@ -47,6 +48,15 @@ func (w *World) Dial(bytes int, opts transport.Options, mk func(*transport.Conn)
 	return transport.NewConn(w.nextID, w.Server, w.Client, bytes, opts, mk, nil)
 }
 
+// DialC is Dial for a congestion controller: the controller is wired to
+// the connection through the transport's generic driver, exactly as the
+// scheme registry wires it.
+func (w *World) DialC(bytes int, opts transport.Options, ctrl cc.Controller) *transport.Conn {
+	return w.Dial(bytes, opts, func(c *transport.Conn) transport.Logic {
+		return transport.NewDriver(c, ctrl)
+	})
+}
+
 // Transfer runs one download to completion (or the 300 s deadline) and
 // returns its stats.
 func (w *World) Transfer(bytes int, mk func(*transport.Conn) transport.Logic) *transport.FlowStats {
@@ -55,6 +65,11 @@ func (w *World) Transfer(bytes int, mk func(*transport.Conn) transport.Logic) *t
 	w.Sched.RunUntil(w.Sched.Now().Add(300 * sim.Second))
 	conn.Abort()
 	return conn.Stats
+}
+
+// TransferC is Transfer for a controller factory.
+func (w *World) TransferC(bytes int, mk func() cc.Controller) *transport.FlowStats {
+	return w.Transfer(bytes, transport.Drive(mk))
 }
 
 // TapClient interposes on packets delivered to the client (data

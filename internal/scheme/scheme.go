@@ -3,13 +3,19 @@
 // instantiated per simulation because some schemes carry cross-flow
 // state (TCP-Cache's path cache) that must be shared within one
 // simulated world but never across worlds.
+//
+// Every scheme is a cc.Controller factory; the transport's generic
+// driver (transport.Drive) runs any of them on a connection, so an
+// Instance's Make field is always Drive(Controller).
 package scheme
 
 import (
 	"fmt"
 	"sort"
 
+	"halfback/internal/cc"
 	"halfback/internal/core"
+	"halfback/internal/protocols/fixedwin"
 	"halfback/internal/protocols/jumpstart"
 	"halfback/internal/protocols/pcp"
 	"halfback/internal/protocols/proactive"
@@ -46,12 +52,23 @@ const (
 	// remembered path throughput × handshake RTT bounds the aggressive
 	// prefix on repeat visits.
 	HalfbackAdaptive = "Halfback-Adaptive"
+	// FixedWindow is the post-refactor demonstration scheme (DESIGN.md
+	// §10): a constant 4-segment window, added with only a controller
+	// implementation, this registry entry, and conformance rows.
+	FixedWindow = "Fixed-Window"
 )
 
-// Instance is one simulation's instantiation of a scheme: a Logic
-// factory plus whatever cross-flow state the scheme shares.
+// Instance is one simulation's instantiation of a scheme: a Controller
+// factory plus whatever cross-flow state the scheme shares. Make wires
+// the controller to a connection through the transport's generic driver.
 type Instance struct {
 	Name string
+
+	// Controller constructs one flow's congestion controller.
+	Controller func() cc.Controller
+
+	// Make adapts Controller for transport.NewConn; it is always
+	// transport.Drive(Controller).
 	Make func(*transport.Conn) transport.Logic
 
 	// Cache is non-nil for TCP-Cache instances, exposed for tests and
@@ -59,39 +76,48 @@ type Instance struct {
 	Cache *tcp.PathCache
 }
 
+// instance wires a controller factory into an Instance.
+func instance(name string, ctrl func() cc.Controller) *Instance {
+	return &Instance{Name: name, Controller: ctrl, Make: transport.Drive(ctrl)}
+}
+
 // New instantiates a scheme by name. It returns an error for unknown
 // names so experiment configuration typos fail loudly.
 func New(name string) (*Instance, error) {
 	switch name {
 	case TCP:
-		return &Instance{Name: name, Make: tcp.New(tcp.Config{InitialWindow: 2})}, nil
+		return instance(name, tcp.New(tcp.Config{InitialWindow: 2})), nil
 	case TCP10:
-		return &Instance{Name: name, Make: tcp.New(tcp.Config{InitialWindow: 10})}, nil
+		return instance(name, tcp.New(tcp.Config{InitialWindow: 10})), nil
 	case TCPCache:
 		cache := tcp.NewPathCache(0)
-		return &Instance{Name: name, Make: tcp.New(tcp.Config{InitialWindow: 2, Cache: cache}), Cache: cache}, nil
+		inst := instance(name, tcp.New(tcp.Config{InitialWindow: 2, Cache: cache}))
+		inst.Cache = cache
+		return inst, nil
 	case Reactive:
-		return &Instance{Name: name, Make: reactive.New(2)}, nil
+		return instance(name, reactive.New(2)), nil
 	case Proactive:
-		return &Instance{Name: name, Make: proactive.New(2)}, nil
+		return instance(name, proactive.New(2)), nil
 	case JumpStart:
-		return &Instance{Name: name, Make: jumpstart.New()}, nil
+		return instance(name, jumpstart.New()), nil
 	case PCP:
-		return &Instance{Name: name, Make: pcp.New()}, nil
+		return instance(name, pcp.New()), nil
 	case Halfback:
-		return &Instance{Name: name, Make: core.New(core.Config{Order: core.Reverse})}, nil
+		return instance(name, core.New(core.Config{Order: core.Reverse})), nil
 	case HalfbackForward:
-		return &Instance{Name: name, Make: core.New(core.Config{Order: core.Forward})}, nil
+		return instance(name, core.New(core.Config{Order: core.Forward})), nil
 	case HalfbackBurst:
-		return &Instance{Name: name, Make: core.New(core.Config{Order: core.Burst})}, nil
+		return instance(name, core.New(core.Config{Order: core.Burst})), nil
 	case PacingOnly:
-		return &Instance{Name: name, Make: core.New(core.Config{DisableROPR: true})}, nil
+		return instance(name, core.New(core.Config{DisableROPR: true})), nil
 	case HalfbackIB10:
-		return &Instance{Name: name, Make: core.New(core.Config{InitialBurst: 10})}, nil
+		return instance(name, core.New(core.Config{InitialBurst: 10})), nil
 	case HalfbackTwoThirds:
-		return &Instance{Name: name, Make: core.New(core.Config{ProactiveRatio: 2.0 / 3.0})}, nil
+		return instance(name, core.New(core.Config{ProactiveRatio: 2.0 / 3.0})), nil
 	case HalfbackAdaptive:
-		return &Instance{Name: name, Make: core.New(core.Config{History: core.NewRateHistory()})}, nil
+		return instance(name, core.New(core.Config{History: core.NewRateHistory()})), nil
+	case FixedWindow:
+		return instance(name, fixedwin.New(fixedwin.DefaultWindow)), nil
 	default:
 		return nil, fmt.Errorf("scheme: unknown scheme %q (known: %v)", name, AllNames())
 	}
@@ -111,7 +137,7 @@ func AllNames() []string {
 	names := []string{
 		TCP, TCP10, TCPCache, Reactive, Proactive,
 		JumpStart, PCP, Halfback, HalfbackForward, HalfbackBurst, PacingOnly,
-		HalfbackIB10, HalfbackTwoThirds, HalfbackAdaptive,
+		HalfbackIB10, HalfbackTwoThirds, HalfbackAdaptive, FixedWindow,
 	}
 	sort.Strings(names)
 	return names

@@ -219,6 +219,12 @@ func (s *Scoreboard) NextLost(from int32, dupThresh, maxRetx int) int32 {
 	if from < s.cumAck {
 		from = s.cumAck
 	}
+	// The per-segment retransmission counter saturates at 255; a budget
+	// beyond that would match a saturated segment forever and spin the
+	// callers' send loops.
+	if maxRetx > 255 {
+		maxRetx = 255
+	}
 	for seq := from; seq <= s.highSent && seq < s.n; seq++ {
 		if s.sacked[seq] {
 			continue
