@@ -1,12 +1,24 @@
 // Command benchcheck compares a freshly measured benchmark JSON (from
 // `halfback-sim -benchjson`) against the committed baseline and fails
-// when allocations regress.
+// when the simulator regresses.
 //
 //	benchcheck -baseline bench/BASELINE.json -current BENCH_2026-08-05.json
 //
-// Allocation counts are near-deterministic for a pinned seed/scale, so
-// they make a reliable CI gate; wall time is reported for trend-watching
-// but never fails the build (CI machines are too noisy for that).
+// Three gates, each reported per exhibit with the metric that tripped:
+//
+//   - allocs/op growth beyond a slack+floor budget (allocation counts
+//     are near-deterministic for a pinned seed/scale);
+//   - events/sec loss beyond -ev-slack (throughput is noisy, so the
+//     default tolerance is a generous 10% and the baseline should be
+//     regenerated on a quiet machine);
+//   - executed event-count inequality — event counts are bit-exact for
+//     a pinned seed/scale, so any drift means simulation behavior
+//     changed, which is a correctness failure, not a perf regression.
+//
+// The decoder ignores JSON fields it does not know, so newer -benchjson
+// outputs with additive fields check cleanly against older baselines
+// (and vice versa: fields absent from the baseline are simply not
+// gated).
 package main
 
 import (
@@ -23,6 +35,7 @@ type exhibit struct {
 	NsPerOp      int64   `json:"ns_per_op"`
 	AllocsPerOp  uint64  `json:"allocs_per_op"`
 	BytesPerOp   uint64  `json:"bytes_per_op"`
+	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
 }
 
@@ -39,6 +52,7 @@ func main() {
 		curPath  = flag.String("current", "", "freshly measured benchmark JSON")
 		slack    = flag.Float64("slack", 0.15, "allowed fractional allocs/op growth before failing")
 		floor    = flag.Uint64("floor", 2048, "absolute allocs/op growth always tolerated (runtime noise)")
+		evSlack  = flag.Float64("ev-slack", 0.10, "allowed fractional events/sec loss before failing")
 	)
 	flag.Parse()
 	if *curPath == "" {
@@ -75,20 +89,34 @@ func main() {
 			failed = true
 			continue
 		}
+		var bad []string
 		limit := b.AllocsPerOp + uint64(float64(b.AllocsPerOp)**slack) + *floor
-		status := "ok  "
 		if c.AllocsPerOp > limit {
+			bad = append(bad, fmt.Sprintf("allocs/op %d exceeds limit %d (baseline %d)", c.AllocsPerOp, limit, b.AllocsPerOp))
+		}
+		if evFloor := b.EventsPerSec * (1 - *evSlack); b.EventsPerSec > 0 && c.EventsPerSec < evFloor {
+			bad = append(bad, fmt.Sprintf("events/sec %.0f below floor %.0f (baseline %.0f, -ev-slack %.0f%%)",
+				c.EventsPerSec, evFloor, b.EventsPerSec, *evSlack*100))
+		}
+		if b.Events != 0 && c.Events != b.Events {
+			bad = append(bad, fmt.Sprintf("events %d != baseline %d — executed event counts are bit-exact for a pinned seed/scale, so this is a behavior change, not noise", c.Events, b.Events))
+		}
+		status := "ok  "
+		if len(bad) > 0 {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s exhibit %-7s allocs/op %10d -> %10d (limit %10d)  ns/op %12d -> %12d\n",
-			status, b.ID, b.AllocsPerOp, c.AllocsPerOp, limit, b.NsPerOp, c.NsPerOp)
+		fmt.Printf("%s exhibit %-9s allocs/op %10d -> %10d (limit %10d)  events/sec %12.0f -> %12.0f  ns/op %12d -> %12d\n",
+			status, b.ID, b.AllocsPerOp, c.AllocsPerOp, limit, b.EventsPerSec, c.EventsPerSec, b.NsPerOp, c.NsPerOp)
+		for _, msg := range bad {
+			fmt.Fprintf(os.Stderr, "benchcheck: FAIL exhibit %s: %s\n", b.ID, msg)
+		}
 	}
 	if failed {
-		fmt.Fprintln(os.Stderr, "benchcheck: allocation regression — if intentional, regenerate bench/BASELINE.json with `go run ./cmd/halfback-sim -benchjson` at the baseline's pinned seed/scale and commit it")
+		fmt.Fprintln(os.Stderr, "benchcheck: regression — if intentional, regenerate bench/BASELINE.json with `go run ./cmd/halfback-sim -benchjson` at the baseline's pinned seed/scale and commit it")
 		os.Exit(1)
 	}
-	fmt.Println("benchcheck: all exhibits within allocation budget")
+	fmt.Println("benchcheck: all exhibits within allocation, throughput and event-count budgets")
 }
 
 func load(path string) (benchFile, error) {

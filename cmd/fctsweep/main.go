@@ -329,7 +329,7 @@ func runCell(seed uint64, name string, util float64, flowBytes, bufBytes int,
 	inst := scheme.MustNew(name)
 	dist := workload.Fixed{Bytes: flowBytes}
 	ia := workload.MeanInterarrivalFor(dist.Mean(), util, cfg.BottleneckBps)
-	arrivals := workload.PoissonArrivals(s.Rng.ForkNamed("arrivals"), dist, ia, horizon)
+	arrivals := workload.PoissonArrivalsCached(s.Rng.ForkNamed("arrivals"), dist, ia, horizon)
 	for _, a := range arrivals {
 		s.StartFlowAt(a.At, inst, a.Bytes)
 	}

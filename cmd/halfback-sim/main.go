@@ -43,6 +43,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"strconv"
 	"syscall"
@@ -63,6 +64,13 @@ type benchExhibit struct {
 	BytesPerOp   uint64  `json:"bytes_per_op"`
 	Events       uint64  `json:"events"`
 	EventsPerSec float64 `json:"events_per_sec"`
+	// PeakPending is the largest number of simultaneously pending
+	// events any single universe reached, and TimerCancels the number
+	// of Timer.Stop calls that prevented a firing (RTO/pacer/delayed-ACK
+	// resets) — together they track event-structure changes that ns/op
+	// alone cannot see. Additive fields: absent in older baselines.
+	PeakPending  uint64 `json:"peak_pending,omitempty"`
+	TimerCancels uint64 `json:"timer_cancels,omitempty"`
 }
 
 // benchFile is the top-level benchmark JSON document.
@@ -129,7 +137,17 @@ func (c *config) shapeArgs() []string {
 	return args
 }
 
-func main() { os.Exit(run(os.Args[1:])) }
+func main() {
+	// A sweep's live heap is a few MB per in-flight universe while its
+	// allocation rate is high (fresh topology + flow state per cell), so
+	// the default GOGC=100 collects dozens of times per exhibit for no
+	// benefit. Trade a bounded multiple of that small heap for the GC
+	// cycles; an explicit GOGC in the environment still wins.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
+	os.Exit(run(os.Args[1:]))
+}
 
 func fail(code int, format string, args ...any) int {
 	fmt.Fprintf(os.Stderr, "halfback-sim: "+format+"\n", args...)
@@ -412,6 +430,8 @@ func runBench(ctx context.Context, entries []experiment.Entry, seed uint64, sc e
 		runtime.GC()
 		runtime.ReadMemStats(&m0)
 		ev0 := sim.ProcessedTotal()
+		tc0 := sim.TimerCancelsTotal()
+		sim.TakePeakPending() // reset the high-water mark for this exhibit
 		start := time.Now()
 		if _, err := runExhibit(e, seed, sc); err != nil {
 			if ctx.Err() != nil {
@@ -423,12 +443,14 @@ func runBench(ctx context.Context, entries []experiment.Entry, seed uint64, sc e
 		runtime.ReadMemStats(&m1)
 		events := sim.ProcessedTotal() - ev0
 		bx := benchExhibit{
-			ID:          e.ID,
-			Title:       e.Title,
-			NsPerOp:     elapsed.Nanoseconds(),
-			AllocsPerOp: m1.Mallocs - m0.Mallocs,
-			BytesPerOp:  m1.TotalAlloc - m0.TotalAlloc,
-			Events:      events,
+			ID:           e.ID,
+			Title:        e.Title,
+			NsPerOp:      elapsed.Nanoseconds(),
+			AllocsPerOp:  m1.Mallocs - m0.Mallocs,
+			BytesPerOp:   m1.TotalAlloc - m0.TotalAlloc,
+			Events:       events,
+			PeakPending:  sim.TakePeakPending(),
+			TimerCancels: sim.TimerCancelsTotal() - tc0,
 		}
 		if s := elapsed.Seconds(); s > 0 {
 			bx.EventsPerSec = float64(events) / s

@@ -62,7 +62,7 @@ func runAQMCell(seed uint64, schemeName string, disc netem.QueueDiscipline, hori
 	s.StartFlowOnPairOpts(0, scheme.MustNew(scheme.TCP), 2_000_000_000, 0, bgOpts)
 
 	inst := scheme.MustNew(schemeName)
-	arrivals := workload.PoissonArrivals(s.Rng.ForkNamed("arrivals"),
+	arrivals := workload.PoissonArrivalsCached(s.Rng.ForkNamed("arrivals"),
 		workload.Fixed{Bytes: PlanetLabFlowBytes}, bufferbloatInterval, horizon-5*sim.Second)
 	for _, a := range arrivals {
 		s.StartFlowAt(a.At.Add(5*sim.Second), inst, a.Bytes)

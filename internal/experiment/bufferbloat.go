@@ -77,7 +77,7 @@ func runBufferbloatCell(seed uint64, schemeName string, buf int, horizon sim.Dur
 
 	// Short flows every 10 s on average, exponential interarrivals,
 	// starting after the background flow has filled the pipe.
-	arrivals := workload.PoissonArrivals(s.Rng.ForkNamed("arrivals"),
+	arrivals := workload.PoissonArrivalsCached(s.Rng.ForkNamed("arrivals"),
 		workload.Fixed{Bytes: PlanetLabFlowBytes}, bufferbloatInterval, horizon-5*sim.Second)
 	for _, a := range arrivals {
 		at := a.At.Add(5 * sim.Second)

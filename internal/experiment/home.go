@@ -34,7 +34,7 @@ func Fig9(seed uint64, sc Scale) *Fig9Result {
 	specs := make([][]workload.PathSpec, len(profiles))
 	for i, profile := range profiles {
 		res.order = append(res.order, profile.Name)
-		specs[i] = workload.HomePopulation(rng.ForkNamed(profile.Name), profile, servers)
+		specs[i] = workload.HomePopulationCached(rng.ForkNamed(profile.Name), profile, servers)
 	}
 
 	// Exported fields: fetch cells ride the gob-encoded result journal

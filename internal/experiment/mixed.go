@@ -70,9 +70,9 @@ func makeFig13Schedule(seed uint64, util float64, horizon sim.Duration, longByte
 	shortIA := workload.MeanInterarrivalFor(float64(PlanetLabFlowBytes), util*fig13ShortShare, rate)
 	longIA := workload.MeanInterarrivalFor(float64(longBytes), util*(1-fig13ShortShare), rate)
 	return fig13Schedule{
-		shorts: workload.PoissonArrivals(rng.ForkNamed("short"),
+		shorts: workload.PoissonArrivalsCached(rng.ForkNamed("short"),
 			workload.Fixed{Bytes: PlanetLabFlowBytes}, shortIA, horizon),
-		longs: workload.PoissonArrivals(rng.ForkNamed("long"),
+		longs: workload.PoissonArrivalsCached(rng.ForkNamed("long"),
 			workload.Fixed{Bytes: longBytes}, longIA, horizon),
 	}
 }
@@ -226,7 +226,7 @@ func Fig14(seed uint64, sc Scale) *Fig14Result {
 	schemes := fig14Schemes()
 	arrivals := make([][]workload.Arrival, len(utils))
 	for i, util := range utils {
-		arrivals[i] = workload.PoissonArrivals(
+		arrivals[i] = workload.PoissonArrivalsCached(
 			sim.NewRand(seed^uint64(util*1e4)).ForkNamed("fig14"),
 			workload.Fixed{Bytes: PlanetLabFlowBytes},
 			workload.MeanInterarrivalFor(float64(PlanetLabFlowBytes), util, 15*netem.Mbps),

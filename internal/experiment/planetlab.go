@@ -46,7 +46,7 @@ type PlanetLabData struct {
 func RunPlanetLab(seed uint64, sc Scale) *PlanetLabData {
 	rng := sim.NewRand(seed)
 	n := sc.trials(PlanetLabPairs)
-	specs := workload.PlanetLabPopulation(rng.ForkNamed("paths"), n)
+	specs := workload.PlanetLabPopulationCached(rng.ForkNamed("paths"), n)
 	schemes := planetLabSchemes()
 	data := &PlanetLabData{Pairs: n}
 	data.Trials = grid(sc, n, len(schemes), func(pi, si int) string {

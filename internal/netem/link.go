@@ -64,16 +64,41 @@ type Link struct {
 	// retain the packet.
 	OnDrop func(pkt *Packet, now sim.Time)
 
-	net        *Network
-	fromName   string
-	toName     string
+	net      *Network
+	fromName string
+	toName   string
+	// The transmit queue is a power-of-two ring: qHead indexes the
+	// oldest packet, qLen counts occupancy, so dequeue is O(1) instead
+	// of a copy-shift of the whole backlog.
 	queue      []queuedPacket
+	qHead      int
+	qLen       int
+	qMask      int
 	queuedByte int
 	busy       bool
+	// txMemoSize/txMemoDur memoize the last TxTime computation (see
+	// TxTime).
+	txMemoSize int
+	txMemoDur  sim.Duration
+
 	// txPkt is the packet currently being serialized; the transmit-done
 	// event carries only the link and picks the packet up from here.
 	txPkt *Packet
 	rng   *sim.Rand
+
+	// The arrival ring holds in-flight propagation completions for
+	// links whose delivery order is provably FIFO (no reordering knob,
+	// no adversity): arrivals on such a link complete in transmit order
+	// at strictly increasing (at, seq), so only the head needs a real
+	// scheduler event — the rest are claimed inline via
+	// Scheduler.TakeNext when the head fires, one heap operation for a
+	// whole convoy. Each arrival keeps the sequence number it reserved
+	// at schedule time, so execution order is bit-identical to the
+	// one-event-per-packet history.
+	arrQ    []linkArrival
+	arrHead int
+	arrLen  int
+	arrMask int
 
 	codel    codelState
 	red      redState
@@ -99,6 +124,14 @@ type queuedPacket struct {
 	at  sim.Time
 }
 
+// linkArrival is one in-flight packet on a FIFO link: its delivery time
+// and the tiebreak sequence reserved when propagation began.
+type linkArrival struct {
+	pkt *Packet
+	at  sim.Time
+	seq uint64
+}
+
 // initAQM lazily seeds the discipline state with defaults.
 func (l *Link) initAQM() {
 	if l.aqmReady {
@@ -117,7 +150,16 @@ func (l *Link) initAQM() {
 
 // TxTime returns how long serializing size bytes onto this link takes.
 func (l *Link) TxTime(size int) sim.Duration {
-	return sim.Duration(int64(size) * 8 * int64(sim.Second) / l.RateBps)
+	// One-entry memo: a link carries at most a handful of distinct
+	// packet sizes (full segments one way, ACKs the other), so the
+	// 64-bit division is almost always skippable. The cached value is
+	// the exact quotient, so results are bit-identical.
+	if size == l.txMemoSize && l.txMemoDur != 0 {
+		return l.txMemoDur
+	}
+	d := sim.Duration(int64(size) * 8 * int64(sim.Second) / l.RateBps)
+	l.txMemoSize, l.txMemoDur = size, d
+	return d
 }
 
 // QueuedBytes returns the bytes currently waiting in the link's queue
@@ -129,6 +171,35 @@ func (l *Link) QueuedBytes() int { return l.queuedByte }
 // not use this (they are end-to-end), but tests and the PCP cross-check
 // harness do.
 func (l *Link) QueueDelay() sim.Duration { return l.TxTime(l.queuedByte) }
+
+// qPush appends to the transmit ring, growing it in place (unwrapped)
+// when full.
+func (l *Link) qPush(q queuedPacket) {
+	if l.qLen == len(l.queue) {
+		n := len(l.queue) * 2
+		if n == 0 {
+			n = 16
+		}
+		grown := make([]queuedPacket, n)
+		for i := 0; i < l.qLen; i++ {
+			grown[i] = l.queue[(l.qHead+i)&l.qMask]
+		}
+		l.queue = grown
+		l.qHead = 0
+		l.qMask = n - 1
+	}
+	l.queue[(l.qHead+l.qLen)&l.qMask] = q
+	l.qLen++
+}
+
+// qPop removes and returns the oldest queued packet.
+func (l *Link) qPop() queuedPacket {
+	q := l.queue[l.qHead]
+	l.queue[l.qHead] = queuedPacket{}
+	l.qHead = (l.qHead + 1) & l.qMask
+	l.qLen--
+	return q
+}
 
 // Send offers a packet to the link. It applies random loss, then the
 // drop-tail queue admission check, then begins transmission if the line is
@@ -158,7 +229,7 @@ func (l *Link) Send(pkt *Packet, now sim.Time) bool {
 		}
 	}
 	l.Stats.Enqueued++
-	l.queue = append(l.queue, queuedPacket{pkt: pkt, at: now})
+	l.qPush(queuedPacket{pkt: pkt, at: now})
 	l.queuedByte += pkt.Size
 	if l.queuedByte > l.Stats.MaxQueueByte {
 		l.Stats.MaxQueueByte = l.queuedByte
@@ -172,14 +243,11 @@ func (l *Link) Send(pkt *Packet, now sim.Time) bool {
 func (l *Link) startTransmit(now sim.Time) {
 	var pkt *Packet
 	for pkt == nil {
-		if len(l.queue) == 0 {
+		if l.qLen == 0 {
 			l.busy = false
 			return
 		}
-		head := l.queue[0]
-		copy(l.queue, l.queue[1:])
-		l.queue[len(l.queue)-1] = queuedPacket{}
-		l.queue = l.queue[:len(l.queue)-1]
+		head := l.qPop()
 		l.queuedByte -= head.pkt.Size
 
 		if l.Discipline == CoDel {
@@ -225,7 +293,7 @@ func linkTxDone(t sim.Time, arg any) {
 	} else {
 		l.propagate(pkt)
 	}
-	if len(l.queue) > 0 {
+	if l.qLen > 0 {
 		l.startTransmit(t)
 	} else {
 		l.busy = false
@@ -271,11 +339,80 @@ func (l *Link) propagate(pkt *Packet) {
 			pkt.PayloadSum ^= 1 << uint(r.Intn(64))
 		}
 	}
+	sched := l.net.sched
+	if l.ReorderProb == 0 && l.advRng == nil {
+		// FIFO fast path: propagation delay is constant and transmit
+		// completions come in serialization order, so arrivals are
+		// strictly ordered — ring-buffer them, reserve each one's
+		// tiebreak sequence now (keeping the global order identical to
+		// scheduling a real event), and materialize an event for the
+		// head only.
+		at := sched.Now().Add(prop)
+		seq := sched.ReserveSeq()
+		if l.arrLen == 0 {
+			sched.AtFuncSeq(at, seq, linkArriveHead, l)
+		}
+		l.arrPush(linkArrival{pkt: pkt, at: at, seq: seq})
+		return
+	}
 	pkt.link = l
-	l.net.sched.AfterFunc(prop, linkPropagated, pkt)
+	sched.AfterFunc(prop, linkPropagated, pkt)
 }
 
-// linkPropagated fires when a packet reaches the far end of its wire.
+// arrPush appends to the arrival ring, growing it in place (unwrapped)
+// when full.
+func (l *Link) arrPush(a linkArrival) {
+	if l.arrLen == len(l.arrQ) {
+		n := len(l.arrQ) * 2
+		if n == 0 {
+			n = 16
+		}
+		grown := make([]linkArrival, n)
+		for i := 0; i < l.arrLen; i++ {
+			grown[i] = l.arrQ[(l.arrHead+i)&l.arrMask]
+		}
+		l.arrQ = grown
+		l.arrHead = 0
+		l.arrMask = n - 1
+	}
+	l.arrQ[(l.arrHead+l.arrLen)&l.arrMask] = a
+	l.arrLen++
+}
+
+// arrPop removes and returns the head arrival.
+func (l *Link) arrPop() linkArrival {
+	a := l.arrQ[l.arrHead]
+	l.arrQ[l.arrHead] = linkArrival{}
+	l.arrHead = (l.arrHead + 1) & l.arrMask
+	l.arrLen--
+	return a
+}
+
+// linkArriveHead fires for the head of a link's arrival ring, delivers
+// it, then drains every following arrival the scheduler lets it claim
+// inline: each one whose (at, seq) still precedes everything queued in
+// the scheduler executes without ever having been a heap entry. The
+// first arrival that cannot be claimed (a timer sneaks in between, the
+// run window's bound passes, or Stop was called) becomes the ring's new
+// scheduled head, under the sequence it reserved at propagation time.
+func linkArriveHead(now sim.Time, arg any) {
+	l := arg.(*Link)
+	a := l.arrPop()
+	l.net.deliver(l.To, a.pkt, now)
+	sched := l.net.sched
+	for l.arrLen > 0 {
+		a = l.arrQ[l.arrHead]
+		if !sched.TakeNext(a.at, a.seq) {
+			sched.AtFuncSeq(a.at, a.seq, linkArriveHead, l)
+			return
+		}
+		l.arrPop()
+		l.net.deliver(l.To, a.pkt, a.at)
+	}
+}
+
+// linkPropagated fires when a packet reaches the far end of its wire on
+// the slow (reordering/adversity) path.
 func linkPropagated(arrival sim.Time, arg any) {
 	pkt := arg.(*Packet)
 	l := pkt.link

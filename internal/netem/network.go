@@ -13,13 +13,26 @@ type DeliverFunc func(pkt *Packet, now sim.Time)
 
 // Node is a host or router in the network.
 type Node struct {
-	ID     NodeID
-	Name   string
-	routes map[NodeID]*Link // destination -> egress link
+	ID   NodeID
+	Name string
+	// routes maps destination NodeID (the index) to the egress link, nil
+	// where no route exists. Node IDs are dense small integers, so a
+	// slice turns the per-hop route lookup — the single hottest map
+	// access in the simulator — into an indexed load.
+	routes []*Link
 	// Deliver handles packets addressed to this node. Nil for pure
 	// routers; packets addressed to a node without a handler are a
 	// wiring bug and panic.
 	Deliver DeliverFunc
+}
+
+// route returns the egress link toward dst, or nil if none is known
+// (ComputeRoutes not run, or dst unreachable).
+func (n *Node) route(dst NodeID) *Link {
+	if int(dst) >= len(n.routes) {
+		return nil
+	}
+	return n.routes[dst]
 }
 
 // Network owns the nodes and links of one simulated topology and routes
@@ -152,7 +165,7 @@ func (n *Network) dropPacket(l *Link, pkt *Packet, now sim.Time) {
 
 // AddNode creates a node and returns it.
 func (n *Network) AddNode(name string) *Node {
-	node := &Node{ID: NodeID(len(n.nodes)), Name: name, routes: make(map[NodeID]*Link)}
+	node := &Node{ID: NodeID(len(n.nodes)), Name: name}
 	n.nodes = append(n.nodes, node)
 	return node
 }
@@ -217,21 +230,26 @@ func (n *Network) Connect(a, b *Node, cfg LinkConfig) (*Link, *Link) {
 // ComputeRoutes (re)builds every node's static routing table with a BFS
 // per node over the link graph. Call once after topology construction.
 func (n *Network) ComputeRoutes() {
-	adj := make(map[NodeID][]*Link)
+	adj := make([][]*Link, len(n.nodes))
 	for _, l := range n.links {
 		adj[l.From] = append(adj[l.From], l)
 	}
+	// Scratch reused across sources; visited is re-zeroed per BFS.
+	type qe struct {
+		node  NodeID
+		first *Link
+	}
+	visited := make([]bool, len(n.nodes))
+	queue := make([]qe, 0, len(n.nodes))
 	for _, src := range n.nodes {
-		src.routes = make(map[NodeID]*Link, len(n.nodes))
+		src.routes = make([]*Link, len(n.nodes))
 		// BFS from src; record for each reached node the first link
 		// out of src on the shortest path.
-		type qe struct {
-			node  NodeID
-			first *Link
+		for i := range visited {
+			visited[i] = false
 		}
-		visited := make([]bool, len(n.nodes))
 		visited[src.ID] = true
-		queue := make([]qe, 0, len(n.nodes))
+		queue = queue[:0]
 		for _, l := range adj[src.ID] {
 			if !visited[l.To] {
 				visited[l.To] = true
@@ -239,9 +257,8 @@ func (n *Network) ComputeRoutes() {
 				queue = append(queue, qe{l.To, l})
 			}
 		}
-		for len(queue) > 0 {
-			cur := queue[0]
-			queue = queue[1:]
+		for qi := 0; qi < len(queue); qi++ {
+			cur := queue[qi]
 			for _, l := range adj[cur.node] {
 				if !visited[l.To] {
 					visited[l.To] = true
@@ -267,8 +284,8 @@ func (n *Network) Inject(pkt *Packet, now sim.Time) bool {
 		n.deliver(pkt.Dst, pkt, now)
 		return true
 	}
-	link, ok := src.routes[pkt.Dst]
-	if !ok {
+	link := src.route(pkt.Dst)
+	if link == nil {
 		panic(fmt.Sprintf("netem: no route from %s to node %d", src.Name, pkt.Dst))
 	}
 	return link.Send(pkt, now)
@@ -292,8 +309,8 @@ func (n *Network) deliver(at NodeID, pkt *Packet, now sim.Time) {
 		n.releasePacket(pkt)
 		return
 	}
-	link, ok := node.routes[pkt.Dst]
-	if !ok {
+	link := node.route(pkt.Dst)
+	if link == nil {
 		panic(fmt.Sprintf("netem: no route from %s to node %d", node.Name, pkt.Dst))
 	}
 	link.Send(pkt, now)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"math/bits"
 	"sync/atomic"
 )
 
@@ -23,9 +24,10 @@ type EventFunc func(now Time, arg any)
 //
 // Internally a Timer names a slot in the scheduler's event pool plus the
 // generation the slot had when the event was scheduled. Slots are
-// recycled after an event fires or a cancelled event is swept out of the
-// heap; the generation check makes a stale handle inert rather than able
-// to resurrect (or cancel) whatever event reused the slot.
+// recycled after an event fires or a cancelled event is reclaimed (from
+// the heap at pop, or from a wheel slot at dump); the generation check
+// makes a stale handle inert rather than able to resurrect (or cancel)
+// whatever event reused the slot.
 type Timer struct {
 	s    *Scheduler
 	slot int32 // pool index + 1; 0 marks the zero-value handle
@@ -47,7 +49,10 @@ func (t Timer) item() *eventItem {
 
 // Stop cancels the timer. It is safe to call on the zero value and on an
 // already-fired or already-stopped timer, and reports whether the call
-// prevented a pending firing.
+// prevented a pending firing. Cancellation is a mark, not a removal:
+// wheel-resident events are reclaimed when their slot is dumped (never
+// touching the heap), heap-resident events when they surface at the
+// root.
 func (t Timer) Stop() bool {
 	it := t.item()
 	if it == nil || it.cancelled {
@@ -55,6 +60,7 @@ func (t Timer) Stop() bool {
 	}
 	it.cancelled = true
 	t.s.live--
+	t.s.cancels++
 	return true
 }
 
@@ -77,43 +83,102 @@ func (t Timer) When() Time {
 // eventItem is one pooled event. Items live in Scheduler.items and are
 // referenced by index, never by pointer, so the pool can grow without
 // invalidating references; gen counts recycles so stale Timer handles
-// cannot touch a reused slot.
+// cannot touch a reused slot. next chains items within one wheel slot
+// (pool index + 1; 0 terminates).
 type eventItem struct {
 	at        Time
 	seq       uint64
-	fn        Event     // closure form (At/After)
-	efn       EventFunc // closure-free form (AtFunc/AfterFunc)
+	efn       EventFunc // callback; closures (At/After) arrive via callEvent
 	arg       any
+	next      int32
 	gen       uint32
 	cancelled bool
 }
+
+// The hierarchical timer wheel in front of the heap: three levels of 256
+// fixed slots. Level 0 slots are 2^16 ns (~65.5 µs) wide, each higher
+// level is 256× coarser, so the wheel spans ~16.8 ms / ~4.3 s / ~18 min
+// ahead of its horizon; anything farther out overflows to the heap.
+// Near-future events — serialization completions, RTOs, pacer ticks,
+// delayed ACKs — insert and cancel in O(1) here and only pass through
+// the heap (briefly, and in a heap kept small by the wheel) when their
+// slot is dumped.
+const (
+	wheelGranBits = 16 // log2 of the level-0 slot width in ns
+	wheelBits     = 8  // log2 slots per level
+	wheelSlots    = 1 << wheelBits
+	wheelMask     = wheelSlots - 1
+	wheelLevels   = 3
+	wheelWords    = wheelSlots / 64
+	// wheelSlack is how many level-0 slots past the horizon an event may
+	// target and still bypass the wheel for the heap (see enqueue).
+	wheelSlack = 8
+)
 
 // Scheduler is the discrete-event loop. It is not safe for concurrent
 // use; a simulation runs on a single goroutine, which is both faster and
 // — more importantly — deterministic.
 //
-// The queue is an inlined 4-ary min-heap of pool indices ordered by
-// (at, seq): seq is a monotone scheduling counter, so events at the same
-// instant run in scheduling order. Fired and swept items return to a
-// free list, making the steady-state loop allocation-free.
+// Ordering: every event carries a (at, seq) key — seq is a monotone
+// scheduling counter, so events at the same instant run in scheduling
+// order. The heap is the single ordering authority: wheel slots are
+// dumped into it strictly before any event they could contain becomes
+// runnable, so the wheel changes where events wait, never the order in
+// which they execute. Fired and reclaimed items return to a free list,
+// making the steady-state loop allocation-free.
 type Scheduler struct {
-	now  Time
-	seq  uint64
-	heap []int32 // 4-ary min-heap of indices into items
+	now Time
+	seq uint64
+	// heap is a 4-ary min-heap of (at, seq, slot) entries: the ordering
+	// key is carried inline so sift comparisons stay within the heap's
+	// own memory instead of chasing into the items pool.
+	heap []heapEntry
 	// items is the index-stable event pool; free holds recycled slots.
 	items []eventItem
 	free  []int32
 	// live counts scheduled events that are neither cancelled nor fired,
-	// so Pending is O(1).
-	live    int
-	stopped bool
+	// so Pending is O(1). peakLive tracks its high-water mark since the
+	// last flush (see PeakPending).
+	live     int
+	peakLive int
+	stopped  bool
+
+	// Timer wheel state. wheel holds per-slot chain heads (pool index+1;
+	// 0 = empty), wheelOcc the per-level occupancy bitmaps. wheelHor is
+	// the absolute start (in ns) of the most recently dumped slot — the
+	// wheel's notion of "the past"; it only moves forward. wheelLive
+	// counts chained entries (including cancelled ones awaiting
+	// reclamation); wheelNext caches the earliest occupied slot start
+	// and is valid whenever wheelLive > 0.
+	wheel        [wheelLevels][wheelSlots]int32
+	wheelOcc     [wheelLevels][wheelWords]uint64
+	wheelHor     uint64
+	wheelNext    uint64
+	wheelNextLvl int
+	wheelLive    int
+	// noWheel forces every insert to the heap; the ordering property
+	// tests use it to compare wheel+heap against the reference heap-only
+	// schedule.
+	noWheel bool
+
+	// runBound, when non-zero, is the virtual-time bound of the
+	// innermost Run/RunUntil window and permits external event sources
+	// (link arrival rings) to claim execution slots inline via TakeNext.
+	// Zero — the idle state, and the state during manually stepped or
+	// strictly supervised runs — disables inline claiming, so every
+	// completion goes through a real scheduler event.
+	runBound Time
 
 	// Processed counts events executed, for diagnostics and runaway
-	// detection in tests.
+	// detection in tests. cancels counts successful Timer.Stop calls
+	// (every reset of an RTO/pacer/delayed-ACK timer is a Stop plus a
+	// reschedule, so this is the churn the wheel absorbs).
 	Processed uint64
-	// flushed is the portion of Processed already folded into the
-	// process-wide counter (see ProcessedTotal).
-	flushed uint64
+	cancels   uint64
+	// flushed/flushedCancels are the portions already folded into the
+	// process-wide counters (see ProcessedTotal).
+	flushed        uint64
+	flushedCancels uint64
 
 	// MaxEvents aborts the run (with a panic identifying the bug) when
 	// more than this many events execute; zero means no limit. Scenario
@@ -121,19 +186,44 @@ type Scheduler struct {
 	MaxEvents uint64
 }
 
+// maxTime is the largest representable virtual time; Run uses it as its
+// inline-claim bound.
+const maxTime = Time(1<<63 - 1)
+
 // processedTotal accumulates events executed across every scheduler in
 // the process, so the benchmark harness can report events/sec for sweeps
 // that fan universes across workers. Schedulers fold their counts in at
 // the end of Run/RunUntil (one atomic add per run window, nothing on the
-// per-event path).
-var processedTotal atomic.Uint64
+// per-event path). timerCancelsTotal and peakPendingTotal aggregate the
+// same way: cancels add, peaks max.
+var (
+	processedTotal    atomic.Uint64
+	timerCancelsTotal atomic.Uint64
+	peakPendingTotal  atomic.Uint64
+)
 
 // ProcessedTotal returns the process-wide count of executed events.
 func ProcessedTotal() uint64 { return processedTotal.Load() }
 
+// TimerCancelsTotal returns the process-wide count of successful
+// Timer.Stop calls (cancel/reset churn).
+func TimerCancelsTotal() uint64 { return timerCancelsTotal.Load() }
+
+// TakePeakPending returns the largest number of simultaneously pending
+// events any scheduler in the process reached since the previous call,
+// and resets the high-water mark. The benchmark harness calls it around
+// each exhibit to report event-structure trends alongside ns/op.
+func TakePeakPending() uint64 { return peakPendingTotal.Swap(0) }
+
 // NewScheduler returns an empty scheduler positioned at time zero.
 func NewScheduler() *Scheduler {
-	return &Scheduler{}
+	// Seed the pool and heap with room for a busy universe's steady
+	// state so the first few thousand events grow nothing.
+	return &Scheduler{
+		items: make([]eventItem, 0, 1024),
+		heap:  make([]heapEntry, 0, 1024),
+		free:  make([]int32, 0, 1024),
+	}
 }
 
 // Now returns the current virtual time.
@@ -142,6 +232,15 @@ func (s *Scheduler) Now() Time { return s.now }
 // alloc takes a slot from the free list (or grows the pool) and stamps
 // it with the scheduling time and the next tiebreak sequence.
 func (s *Scheduler) alloc(at Time) int32 {
+	slot := s.allocSeq(at, s.seq)
+	s.seq++
+	return slot
+}
+
+// allocSeq is alloc with an explicit tiebreak sequence — the reserved-seq
+// scheduling path (see ReserveSeq) re-materializes events that already
+// hold a sequence number.
+func (s *Scheduler) allocSeq(at Time, seq uint64) int32 {
 	if at < s.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, s.now))
 	}
@@ -155,10 +254,12 @@ func (s *Scheduler) alloc(at Time) int32 {
 	}
 	it := &s.items[slot]
 	it.at = at
-	it.seq = s.seq
-	s.seq++
+	it.seq = seq
 	it.cancelled = false
 	s.live++
+	if s.live > s.peakLive {
+		s.peakLive = s.live
+	}
 	return slot
 }
 
@@ -168,11 +269,16 @@ func (s *Scheduler) alloc(at Time) int32 {
 func (s *Scheduler) release(slot int32) {
 	it := &s.items[slot]
 	it.gen++
-	it.fn = nil
 	it.efn = nil
 	it.arg = nil
+	it.next = 0
 	s.free = append(s.free, slot)
 }
+
+// callEvent adapts a closure-form Event (boxed as the arg) to the
+// single EventFunc dispatch path; func values are pointers, so the
+// boxing allocates nothing.
+func callEvent(now Time, arg any) { arg.(Event)(now) }
 
 // At schedules fn to run at absolute virtual time at. Scheduling in the
 // past is a bug in the caller and panics. Events at the same instant run
@@ -183,8 +289,9 @@ func (s *Scheduler) At(at Time, fn Event) Timer {
 	}
 	slot := s.alloc(at)
 	it := &s.items[slot]
-	it.fn = fn
-	s.push(slot)
+	it.efn = callEvent
+	it.arg = fn
+	s.enqueue(slot)
 	return Timer{s: s, slot: slot + 1, gen: it.gen}
 }
 
@@ -199,7 +306,7 @@ func (s *Scheduler) AtFunc(at Time, fn EventFunc, arg any) Timer {
 	it := &s.items[slot]
 	it.efn = fn
 	it.arg = arg
-	s.push(slot)
+	s.enqueue(slot)
 	return Timer{s: s, slot: slot + 1, gen: it.gen}
 }
 
@@ -220,54 +327,280 @@ func (s *Scheduler) AfterFunc(d Duration, fn EventFunc, arg any) Timer {
 	return s.AtFunc(s.now.Add(d), fn, arg)
 }
 
+// ReserveSeq hands out the next tiebreak sequence without scheduling
+// anything. An external event source (a link's arrival ring) reserves a
+// sequence per logical event at the instant it would historically have
+// scheduled it, so completions claimed inline via TakeNext — or
+// re-materialized via AtFuncSeq — keep exactly the ordering key a real
+// scheduler event would have had.
+func (s *Scheduler) ReserveSeq() uint64 {
+	q := s.seq
+	s.seq++
+	return q
+}
+
+// AtFuncSeq schedules fn(at, arg) under a sequence previously obtained
+// from ReserveSeq. The (at, seq) pair must be in the future of every
+// event executed so far (the caller's events are FIFO; the head is the
+// only one materialized).
+func (s *Scheduler) AtFuncSeq(at Time, seq uint64, fn EventFunc, arg any) Timer {
+	if fn == nil {
+		panic("sim: scheduling nil event")
+	}
+	slot := s.allocSeq(at, seq)
+	it := &s.items[slot]
+	it.efn = fn
+	it.arg = arg
+	s.enqueue(slot)
+	return Timer{s: s, slot: slot + 1, gen: it.gen}
+}
+
+// TakeNext lets an external FIFO event source claim the next execution
+// slot for a logical event at (at, seq) without a heap entry: it
+// succeeds only when inline claiming is enabled for the current run
+// window, the bound has not passed, and no scheduled event precedes
+// (at, seq) in the total order. On success the clock advances to at and
+// the event counts as processed — bit-for-bit the accounting a real
+// scheduler event would have produced.
+func (s *Scheduler) TakeNext(at Time, seq uint64) bool {
+	if s.stopped || s.runBound == 0 || at > s.runBound {
+		return false
+	}
+	if e, ok := s.root(); ok {
+		if e.at < at || (e.at == at && e.seq < seq) {
+			return false
+		}
+	}
+	s.now = at
+	s.Processed++
+	if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
+		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v (event storm?)", s.MaxEvents, s.now))
+	}
+	return true
+}
+
 // Pending returns the number of live (not cancelled, not fired) events
 // in the queue. It is O(1): a counter is maintained on schedule, cancel
 // and fire.
 func (s *Scheduler) Pending() int { return s.live }
 
-// less orders pool slots by (at, seq); seq is unique, so the order is
-// total and heap arity cannot affect determinism.
-func (s *Scheduler) less(a, b int32) bool {
-	ia, ib := &s.items[a], &s.items[b]
-	if ia.at != ib.at {
-		return ia.at < ib.at
+// enqueue places a newly allocated slot into the wheel level whose span
+// covers its deadline, or into the heap when the deadline is inside the
+// current (already partially dumped) level-0 slot or beyond the top
+// level's span.
+func (s *Scheduler) enqueue(slot int32) {
+	if s.noWheel {
+		s.push(slot)
+		return
 	}
-	return ia.seq < ib.seq
+	at := uint64(s.items[slot].at)
+	// Imminent events — the horizon slot plus a small slack window —
+	// go straight to the heap: they would be dumped there almost
+	// immediately anyway, and skipping the wheel round-trip keeps the
+	// common near-future case (link transmit completions) on the short
+	// path. Any event may legally bypass the wheel; the heap is the
+	// ordering authority.
+	if at>>wheelGranBits <= s.wheelHor>>wheelGranBits+wheelSlack {
+		s.push(slot)
+		return
+	}
+	shift := uint(wheelGranBits)
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		if (at>>shift)-(s.wheelHor>>shift) < wheelSlots {
+			s.wheelLink(lvl, shift, slot, at)
+			return
+		}
+		shift += wheelBits
+	}
+	s.push(slot)
 }
 
-// push adds a slot to the heap, sifting up with a hole (the slot is
+// wheelLink chains slot into its wheel slot and maintains the occupancy
+// bitmap and the cached earliest slot start.
+func (s *Scheduler) wheelLink(lvl int, shift uint, slot int32, at uint64) {
+	pos := int(at>>shift) & wheelMask
+	it := &s.items[slot]
+	it.next = s.wheel[lvl][pos]
+	s.wheel[lvl][pos] = slot + 1
+	s.wheelOcc[lvl][pos>>6] |= 1 << (uint(pos) & 63)
+	if start := (at >> shift) << shift; s.wheelLive == 0 || start < s.wheelNext {
+		s.wheelNext = start
+		s.wheelNextLvl = lvl
+	}
+	s.wheelLive++
+}
+
+// wheelScan recomputes the earliest occupied slot across all levels,
+// returning its level and absolute start time. Valid only when
+// wheelLive > 0. Each level is a 256-bit rotated bitmap scan: at most
+// four words per level.
+func (s *Scheduler) wheelScan() (int, uint64) {
+	bestLvl, bestStart := -1, ^uint64(0)
+	shift := uint(wheelGranBits)
+	for lvl := 0; lvl < wheelLevels; lvl++ {
+		cur := s.wheelHor >> shift
+		if off, ok := s.wheelScanLevel(lvl, int(cur)&wheelMask); ok {
+			if start := (cur + uint64(off)) << shift; start < bestStart {
+				bestLvl, bestStart = lvl, start
+			}
+		}
+		shift += wheelBits
+	}
+	return bestLvl, bestStart
+}
+
+// wheelScanLevel finds the smallest ring offset (0..255) from position
+// pos to an occupied slot on lvl. Every occupied slot lies within 255
+// positions ahead of the horizon's position — inserts bound the distance
+// and the horizon is monotone — so the rotated scan is exact.
+func (s *Scheduler) wheelScanLevel(lvl, pos int) (int, bool) {
+	occ := &s.wheelOcc[lvl]
+	w := pos >> 6
+	b := uint(pos) & 63
+	if v := occ[w] >> b; v != 0 {
+		return bits.TrailingZeros64(v), true
+	}
+	for i := 1; i <= wheelWords; i++ {
+		wi := (w + i) & (wheelWords - 1)
+		v := occ[wi]
+		if wi == w {
+			v &= uint64(1)<<b - 1
+		}
+		if v != 0 {
+			p := wi<<6 + bits.TrailingZeros64(v)
+			return (p - pos) & wheelMask, true
+		}
+	}
+	return 0, false
+}
+
+// wheelDump empties the earliest occupied slot: cancelled entries are
+// reclaimed without ever touching the heap, level-0 survivors go to the
+// heap, higher-level survivors redistribute to finer levels (each at
+// most once per level — redistribution strictly descends). Advancing
+// the horizon to the dumped slot's start is what retires the slot: the
+// invariant "every wheel entry's deadline ≥ horizon" holds because this
+// slot was the earliest.
+func (s *Scheduler) wheelDump() {
+	// wheelNext/wheelNextLvl are maintained by wheelLink and by the
+	// rescan below, so the earliest slot is already known.
+	lvl, start := s.wheelNextLvl, s.wheelNext
+	shift := uint(wheelGranBits + lvl*wheelBits)
+	pos := int(start>>shift) & wheelMask
+	head := s.wheel[lvl][pos]
+	s.wheel[lvl][pos] = 0
+	s.wheelOcc[lvl][pos>>6] &^= 1 << (uint(pos) & 63)
+	if start > s.wheelHor {
+		s.wheelHor = start
+	}
+	for head != 0 {
+		slot := head - 1
+		it := &s.items[slot]
+		head = it.next
+		it.next = 0
+		s.wheelLive--
+		if it.cancelled {
+			s.release(slot)
+			continue
+		}
+		if lvl == 0 {
+			s.push(slot)
+		} else {
+			s.enqueue(slot)
+		}
+	}
+	if s.wheelLive > 0 {
+		s.wheelNextLvl, s.wheelNext = s.wheelScan()
+	}
+}
+
+// heapEntry is one heap element: the (at, seq) ordering key inline plus
+// the items-pool slot it names.
+type heapEntry struct {
+	at   Time
+	seq  uint64
+	slot int32
+}
+
+func (a heapEntry) less(b heapEntry) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+// root returns the heap root when it is already the surfaced global
+// minimum — live, with no wheel slot that could precede it — and falls
+// back to the full nextSlot sweep otherwise. The fast path is small
+// enough to inline into the per-event loops.
+func (s *Scheduler) root() (heapEntry, bool) {
+	if len(s.heap) > 0 {
+		e := s.heap[0]
+		if !s.items[e.slot].cancelled && (s.wheelLive == 0 || Time(s.wheelNext) > e.at) {
+			return e, true
+		}
+	}
+	return s.nextSlot()
+}
+
+// nextSlot surfaces the next live event at the heap root, reclaiming
+// cancelled heap entries and dumping every wheel slot that could precede
+// the root. After it returns true, s.heap[0] is the global minimum of
+// the (at, seq) order.
+func (s *Scheduler) nextSlot() (heapEntry, bool) {
+	for {
+		for len(s.heap) > 0 {
+			e := s.heap[0]
+			if !s.items[e.slot].cancelled {
+				break
+			}
+			s.pop()
+			s.release(e.slot)
+		}
+		if s.wheelLive > 0 && (len(s.heap) == 0 || Time(s.wheelNext) <= s.heap[0].at) {
+			s.wheelDump()
+			continue
+		}
+		if len(s.heap) == 0 {
+			return heapEntry{}, false
+		}
+		return s.heap[0], true
+	}
+}
+
+// push adds a slot to the heap, sifting up with a hole (the entry is
 // written once at its final position).
 func (s *Scheduler) push(slot int32) {
-	s.heap = append(s.heap, slot)
+	it := &s.items[slot]
+	e := heapEntry{at: it.at, seq: it.seq, slot: slot}
+	s.heap = append(s.heap, e)
 	h := s.heap
 	i := len(h) - 1
 	for i > 0 {
 		p := (i - 1) >> 2
-		if !s.less(slot, h[p]) {
+		if !e.less(h[p]) {
 			break
 		}
 		h[i] = h[p]
 		i = p
 	}
-	h[i] = slot
+	h[i] = e
 }
 
-// pop removes and returns the minimum slot.
-func (s *Scheduler) pop() int32 {
+// pop removes the minimum entry.
+func (s *Scheduler) pop() {
 	h := s.heap
-	root := h[0]
 	n := len(h) - 1
 	last := h[n]
 	s.heap = h[:n]
 	if n > 0 {
 		s.siftDown(last)
 	}
-	return root
 }
 
-// siftDown places slot into the (otherwise valid) heap starting from the
+// siftDown places e into the (otherwise valid) heap starting from the
 // root hole left by pop.
-func (s *Scheduler) siftDown(slot int32) {
+func (s *Scheduler) siftDown(e heapEntry) {
 	h := s.heap
 	n := len(h)
 	i := 0
@@ -282,17 +615,17 @@ func (s *Scheduler) siftDown(slot int32) {
 			end = n
 		}
 		for j := c + 1; j < end; j++ {
-			if s.less(h[j], h[best]) {
+			if h[j].less(h[best]) {
 				best = j
 			}
 		}
-		if !s.less(h[best], slot) {
+		if !h[best].less(e) {
 			break
 		}
 		h[i] = h[best]
 		i = best
 	}
-	h[i] = slot
+	h[i] = e
 }
 
 // Step executes the single next event, advancing the clock to it. It
@@ -300,37 +633,38 @@ func (s *Scheduler) siftDown(slot int32) {
 // remain). The event's slot is recycled before its callback runs, so a
 // callback rescheduling at the same instant reuses the hot slot and the
 // event's own Timer handle is already inert inside the callback.
-func (s *Scheduler) Step() bool {
-	for len(s.heap) > 0 {
-		slot := s.pop()
-		it := &s.items[slot]
-		if it.cancelled {
-			s.release(slot)
-			continue
-		}
-		s.now = it.at
-		s.live--
-		fn, efn, arg := it.fn, it.efn, it.arg
-		s.release(slot)
-		s.Processed++
-		if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
-			panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v (event storm?)", s.MaxEvents, s.now))
-		}
-		if efn != nil {
-			efn(s.now, arg)
-		} else {
-			fn(s.now)
-		}
-		return true
+func (s *Scheduler) Step() bool { return s.stepBounded(maxTime) }
+
+// stepBounded is Step with a deadline: it executes the next event only
+// if its time is ≤ bound, reporting false (and leaving the event
+// queued) otherwise. Run and RunUntil use it to pay one ordering pass
+// per event instead of a peek plus a step.
+func (s *Scheduler) stepBounded(bound Time) bool {
+	e, ok := s.root()
+	if !ok || e.at > bound {
+		return false
 	}
-	return false
+	s.pop()
+	it := &s.items[e.slot]
+	s.now = e.at
+	s.live--
+	efn, arg := it.efn, it.arg
+	s.release(e.slot)
+	s.Processed++
+	if s.MaxEvents > 0 && s.Processed > s.MaxEvents {
+		panic(fmt.Sprintf("sim: exceeded MaxEvents=%d at t=%v (event storm?)", s.MaxEvents, s.now))
+	}
+	efn(s.now, arg)
+	return true
 }
 
 // Run executes events until the queue drains or Stop is called.
 func (s *Scheduler) Run() {
 	s.stopped = false
-	for !s.stopped && s.Step() {
+	s.runBound = maxTime
+	for !s.stopped && s.stepBounded(maxTime) {
 	}
+	s.runBound = 0
 	s.flushProcessed()
 }
 
@@ -339,13 +673,10 @@ func (s *Scheduler) Run() {
 // way scenario runners bound an experiment's virtual duration.
 func (s *Scheduler) RunUntil(deadline Time) {
 	s.stopped = false
-	for !s.stopped {
-		next, ok := s.peek()
-		if !ok || next > deadline {
-			break
-		}
-		s.Step()
+	s.runBound = deadline
+	for !s.stopped && s.stepBounded(deadline) {
 	}
+	s.runBound = 0
 	if s.now < deadline {
 		s.now = deadline
 	}
@@ -355,27 +686,34 @@ func (s *Scheduler) RunUntil(deadline Time) {
 // Stop makes the innermost Run/RunUntil return after the current event.
 func (s *Scheduler) Stop() { s.stopped = true }
 
-// peek returns the time of the next live event, sweeping cancelled items
-// back to the free list as it finds them at the root.
+// peek returns the time of the next live event, reclaiming cancelled
+// items and dumping due wheel slots as a side effect.
 func (s *Scheduler) peek() (Time, bool) {
-	for len(s.heap) > 0 {
-		slot := s.heap[0]
-		it := &s.items[slot]
-		if it.cancelled {
-			s.pop()
-			s.release(slot)
-			continue
-		}
-		return it.at, true
+	e, ok := s.nextSlot()
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	return e.at, true
 }
 
-// flushProcessed folds this scheduler's event count into the
-// process-wide total.
+// flushProcessed folds this scheduler's event and cancel counts and its
+// pending high-water mark into the process-wide totals.
 func (s *Scheduler) flushProcessed() {
 	if d := s.Processed - s.flushed; d > 0 {
 		processedTotal.Add(d)
 		s.flushed = s.Processed
+	}
+	if d := s.cancels - s.flushedCancels; d > 0 {
+		timerCancelsTotal.Add(d)
+		s.flushedCancels = s.cancels
+	}
+	if p := uint64(s.peakLive); p > 0 {
+		for {
+			cur := peakPendingTotal.Load()
+			if p <= cur || peakPendingTotal.CompareAndSwap(cur, p) {
+				break
+			}
+		}
+		s.peakLive = s.live
 	}
 }

@@ -94,7 +94,22 @@ type SuperviseConfig struct {
 // Pending() or keep stepping manually.
 func (s *Scheduler) RunSupervised(cfg SuperviseConfig) error {
 	s.stopped = false
-	defer s.flushProcessed()
+	// Inline claiming (see Scheduler.TakeNext) batches link completions
+	// between supervision checks, so it is enabled only when the run has
+	// nothing to check per event: budget and stall accounting must
+	// observe every event individually to keep "exact budget ⇒
+	// bit-identical completion" true.
+	if cfg.EventBudget == 0 && cfg.Progress == nil {
+		if cfg.Horizon > 0 {
+			s.runBound = cfg.Horizon
+		} else {
+			s.runBound = maxTime
+		}
+	}
+	defer func() {
+		s.runBound = 0
+		s.flushProcessed()
+	}()
 	start := s.Processed
 	var lastVal int64
 	lastAt := s.now

@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"halfback/internal/sim"
+)
+
+// Cached generation must be indistinguishable from direct generation
+// when handed an identically-seeded throwaway fork.
+func TestPoissonArrivalsCachedMatchesDirect(t *testing.T) {
+	dist := Fixed{Bytes: 100_000}
+	direct := PoissonArrivals(sim.NewRand(7).ForkNamed("arrivals"), dist, sim.Second, 600*sim.Second)
+	cached := PoissonArrivalsCached(sim.NewRand(7).ForkNamed("arrivals"), dist, sim.Second, 600*sim.Second)
+	if !reflect.DeepEqual(direct, cached) {
+		t.Fatalf("cached schedule differs from direct generation (miss path)")
+	}
+	// Second fetch hits the cache; it must still match.
+	hit := PoissonArrivalsCached(sim.NewRand(7).ForkNamed("arrivals"), dist, sim.Second, 600*sim.Second)
+	if !reflect.DeepEqual(direct, hit) {
+		t.Fatalf("cached schedule differs from direct generation (hit path)")
+	}
+}
+
+// Callers own their returned slice: mutating it must not corrupt later
+// fetches of the same population.
+func TestPoissonArrivalsCachedReturnsCopies(t *testing.T) {
+	dist := Fixed{Bytes: 1000}
+	a := PoissonArrivalsCached(sim.NewRand(11).Fork(), dist, sim.Second, time10m())
+	if len(a) == 0 {
+		t.Fatal("expected a non-empty schedule")
+	}
+	a[0].Bytes = -1
+	b := PoissonArrivalsCached(sim.NewRand(11).Fork(), dist, sim.Second, time10m())
+	if b[0].Bytes == -1 {
+		t.Fatal("mutation of a returned schedule leaked into the cache")
+	}
+}
+
+func time10m() sim.Duration { return 600 * sim.Second }
+
+// Distinct rng states and distinct parameters must not collide.
+func TestCachedKeyedByStateAndParams(t *testing.T) {
+	dist := Fixed{Bytes: 1000}
+	a := PoissonArrivalsCached(sim.NewRand(1).Fork(), dist, sim.Second, time10m())
+	b := PoissonArrivalsCached(sim.NewRand(2).Fork(), dist, sim.Second, time10m())
+	if reflect.DeepEqual(a, b) {
+		t.Fatal("different rng states returned the same schedule")
+	}
+	c := PoissonArrivalsCached(sim.NewRand(1).Fork(), Fixed{Bytes: 2000}, sim.Second, time10m())
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different size distributions returned the same schedule")
+	}
+}
+
+// Concurrent first fetches of the same population must agree (the -race
+// CI job also proves the cache itself is data-race free).
+func TestCachedConcurrentFetch(t *testing.T) {
+	dist := Fixed{Bytes: 4000}
+	want := PoissonArrivals(sim.NewRand(23).Fork(), dist, sim.Second, time10m())
+	var wg sync.WaitGroup
+	out := make([][]Arrival, 8)
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = PoissonArrivalsCached(sim.NewRand(23).Fork(), dist, sim.Second, time10m())
+		}(i)
+	}
+	wg.Wait()
+	for i := range out {
+		if !reflect.DeepEqual(out[i], want) {
+			t.Fatalf("goroutine %d got a schedule that differs from direct generation", i)
+		}
+	}
+}
+
+// PlanetLab and home populations share the memo plumbing; spot-check the
+// round trip for each.
+func TestPathPopulationsCached(t *testing.T) {
+	direct := PlanetLabPopulation(sim.NewRand(5).ForkNamed("paths"), 40)
+	cached := PlanetLabPopulationCached(sim.NewRand(5).ForkNamed("paths"), 40)
+	if !reflect.DeepEqual(direct, cached) {
+		t.Fatal("cached PlanetLab population differs from direct generation")
+	}
+	prof := HomeProfiles()[0]
+	hd := HomePopulation(sim.NewRand(5).ForkNamed(prof.Name), prof, 6)
+	hc := HomePopulationCached(sim.NewRand(5).ForkNamed(prof.Name), prof, 6)
+	if !reflect.DeepEqual(hd, hc) {
+		t.Fatal("cached home population differs from direct generation")
+	}
+}
