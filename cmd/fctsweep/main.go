@@ -9,6 +9,8 @@
 //	fctsweep -schemes Halfback -flow 500000 -buffer 30000 -rtt 20ms
 //	fctsweep -schemes Halfback -utils 10,30 -journal run.journal
 //	fctsweep -resume run.journal
+//	fctsweep -serve-worker :9001 -worker-journal w0.journal   # distributed worker
+//	fctsweep -utils 10,30,50 -journal run.journal -distributed 3
 //
 // Crash safety: with -journal every completed cell is appended to a
 // write-ahead journal before the sweep moves on. SIGINT/SIGTERM drains
@@ -65,6 +67,13 @@ type config struct {
 	memprofile  string
 	journal     string
 	resume      string
+
+	// Distributed sweep modes (see distmode.go).
+	serveWorker   string
+	workerJournal string
+	workersRemote string
+	distributed   int
+	speculate     time.Duration
 }
 
 // flagSet binds a fresh FlagSet to cfg so the same parser handles both
@@ -88,6 +97,11 @@ func flagSet(cfg *config) *flag.FlagSet {
 	fs.StringVar(&cfg.memprofile, "memprofile", "", "write an allocation profile to this file on exit")
 	fs.StringVar(&cfg.journal, "journal", "", "write-ahead cell journal for this run (must not exist yet)")
 	fs.StringVar(&cfg.resume, "resume", "", "resume a journaled run: replay its completed cells, execute the rest")
+	fs.StringVar(&cfg.serveWorker, "serve-worker", "", "run as a distributed-sweep worker listening on this address (:0 picks a port, announced on stdout)")
+	fs.StringVar(&cfg.workerJournal, "worker-journal", "", "worker-local journal for -serve-worker; uploaded to the coordinator on (re)connect")
+	fs.StringVar(&cfg.workersRemote, "workers-remote", "", "comma-separated worker addresses: coordinate the sweep across them (requires -journal or -resume)")
+	fs.IntVar(&cfg.distributed, "distributed", 0, "single-binary distributed mode: fork N local workers and coordinate across them (requires -journal or -resume)")
+	fs.DurationVar(&cfg.speculate, "speculate", 0, "re-dispatch a cell to an idle worker after this long; first result wins; 0 disables")
 	return fs
 }
 
@@ -125,10 +139,15 @@ func run(args []string) int {
 		return 2
 	}
 
+	if cfg.serveWorker != "" {
+		return runServeWorker(cfg)
+	}
+
 	// -resume: the journal's meta is the source of truth for the run
 	// shape; only execution knobs (workers, profiles) may be overridden
 	// on the resume command line.
 	var journal *fleet.Journal
+	resuming := false
 	if cfg.resume != "" {
 		if cfg.journal != "" {
 			return fail(2, "-journal and -resume are mutually exclusive")
@@ -150,7 +169,11 @@ func run(args []string) int {
 		}
 		cfg.workers = override.workers
 		cfg.cpuprofile, cfg.memprofile = override.cpuprofile, override.memprofile
+		// Distribution is an execution knob like -workers: the resume
+		// command line decides it anew, not the original run's meta.
+		cfg.workersRemote, cfg.distributed, cfg.speculate = override.workersRemote, override.distributed, override.speculate
 		journal = j
+		resuming = true
 		fmt.Fprintf(os.Stderr, "fctsweep: resuming %s (%d journaled cells)\n", j.Path(), j.Replayable())
 	}
 
@@ -186,23 +209,7 @@ func run(args []string) int {
 	if cfg.workers < 1 {
 		return fail(2, "-workers must be ≥ 1")
 	}
-	var utils []float64
-	for _, f := range strings.Split(cfg.utils, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
-		if err != nil || v <= 0 || v > 100 {
-			return fail(2, "bad utilization %q", f)
-		}
-		utils = append(utils, v/100)
-	}
-	names := strings.Split(cfg.schemes, ",")
-	for i := range names {
-		names[i] = strings.TrimSpace(names[i])
-		if _, err := scheme.New(names[i]); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
-		}
-	}
-	adv, err := netem.AdversityPreset(cfg.adversity)
+	sw, err := newSweep(cfg)
 	if err != nil {
 		return fail(2, "%v", err)
 	}
@@ -218,6 +225,12 @@ func run(args []string) int {
 		journal = j
 	}
 
+	coord, coordCleanup, code := setupCoordinator(cfg, journal, resuming)
+	if code != 0 {
+		return code
+	}
+	defer coordCleanup()
+
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	installSignalHandler(cancel)
@@ -227,20 +240,14 @@ func run(args []string) int {
 		"scheme", "utilization_%", "flows", "mean_fct_ms", "p50_ms", "p99_ms", "mean_norm_retx", "completion", "aborted")
 	// Every (scheme, utilization) cell is an independent universe; fan
 	// them out and add the rows back in sweep order.
-	n := len(names) * len(utils)
-	cell := func(i int) (string, float64) { return names[i/len(utils)], utils[i%len(utils)] }
+	n := sw.n()
+	workers := cfg.workers
 	fleetRun := &fleet.Run{Journal: journal}
-	rows, err := fleet.MapOpts(fleet.Options{
-		Ctx: ctx, Workers: cfg.workers, Run: fleetRun,
-		Label: func(i int) string {
-			name, util := cell(i)
-			return fmt.Sprintf("%s @%.0f%%", name, util*100)
-		},
-	}, n, func(i, attempt int) ([]any, error) {
-		name, util := cell(i)
-		return runCell(cfg.seed, name, util, cfg.flowBytes, cfg.bufBytes, cfg.rtt,
-			cfg.rateMbps*netem.Mbps, cfg.horizon, adv, cfg.deadline, cfg.maxRetx, cfg.maxTimeouts), nil
-	})
+	if coord != nil {
+		fleetRun.Dispatch = coord
+		workers = coord.Slots()
+	}
+	rows, err := sw.mapCells(ctx, workers, fleetRun)
 
 	// Render every cell honestly: real rows for completed cells,
 	// FAILED(class) rows for crashed ones, nothing for cells a drain
@@ -258,7 +265,7 @@ func run(args []string) int {
 			// skipped by the drain
 		default:
 			failed++
-			name, util := cell(i)
+			name, util := sw.cell(i)
 			table.AddRow(name, util*100, "-", metrics.FailedCell(fleet.Classify(cellErr[i])),
 				"-", "-", "-", "-", "-")
 		}
@@ -287,7 +294,67 @@ func run(args []string) int {
 	case failed > 0:
 		return 1
 	}
+	if coord != nil {
+		coord.ShutdownWorkers()
+	}
 	return 0
+}
+
+// sweep is one validated run shape: the parsed scheme × utilization
+// grid plus everything a cell needs. It exists so the coordinator path
+// in run() and the worker-side start function execute the identical
+// cell program.
+type sweep struct {
+	cfg   config
+	names []string
+	utils []float64
+	adv   netem.Adversity
+}
+
+func newSweep(cfg config) (*sweep, error) {
+	sw := &sweep{cfg: cfg}
+	for _, f := range strings.Split(cfg.utils, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 || v > 100 {
+			return nil, fmt.Errorf("bad utilization %q", f)
+		}
+		sw.utils = append(sw.utils, v/100)
+	}
+	sw.names = strings.Split(cfg.schemes, ",")
+	for i := range sw.names {
+		sw.names[i] = strings.TrimSpace(sw.names[i])
+		if _, err := scheme.New(sw.names[i]); err != nil {
+			return nil, err
+		}
+	}
+	var err error
+	if sw.adv, err = netem.AdversityPreset(cfg.adversity); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (s *sweep) n() int { return len(s.names) * len(s.utils) }
+
+func (s *sweep) cell(i int) (string, float64) {
+	return s.names[i/len(s.utils)], s.utils[i%len(s.utils)]
+}
+
+// mapCells fans the grid out through the fleet — run's Journal,
+// Dispatch or Serve hooks decide where each cell actually executes.
+func (s *sweep) mapCells(ctx context.Context, workers int, run *fleet.Run) ([][]any, error) {
+	cfg := s.cfg
+	return fleet.MapOpts(fleet.Options{
+		Ctx: ctx, Workers: workers, Run: run,
+		Label: func(i int) string {
+			name, util := s.cell(i)
+			return fmt.Sprintf("%s @%.0f%%", name, util*100)
+		},
+	}, s.n(), func(i, attempt int) ([]any, error) {
+		name, util := s.cell(i)
+		return runCell(cfg.seed, name, util, cfg.flowBytes, cfg.bufBytes, cfg.rtt,
+			cfg.rateMbps*netem.Mbps, cfg.horizon, s.adv, cfg.deadline, cfg.maxRetx, cfg.maxTimeouts), nil
+	})
 }
 
 // resumeHint names the command that continues this run, or says why it

@@ -1,0 +1,413 @@
+package dist
+
+import (
+	"errors"
+	"fmt"
+	"net/rpc"
+	"os"
+	"sync"
+	"time"
+
+	"halfback/internal/fleet"
+)
+
+// Options tunes the coordinator. The zero value picks sane defaults.
+type Options struct {
+	// SlotsPerWorker bounds concurrent RunCell calls per worker — the
+	// worker-side parallelism (default 4).
+	SlotsPerWorker int
+	// HeartbeatEvery is the Ping interval (default 1s).
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many consecutive unanswered Pings declare a
+	// worker dead (default 3).
+	HeartbeatMisses int
+	// ConfigureTimeout bounds the initial Configure call per worker
+	// (default 30s) — a dialable but mute endpoint must not hang
+	// Connect.
+	ConfigureTimeout time.Duration
+	// SpeculateAfter, when positive, re-dispatches a cell to a second
+	// worker once its first lease is older than this — RepFlow-style
+	// cheap redundancy against stragglers. First result wins, which is
+	// deterministic because results are seed-determined. 0 disables.
+	SpeculateAfter time.Duration
+	// Logf, when non-nil, receives coordinator diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (o Options) withDefaults() Options {
+	if o.SlotsPerWorker <= 0 {
+		o.SlotsPerWorker = 4
+	}
+	if o.HeartbeatEvery <= 0 {
+		o.HeartbeatEvery = time.Second
+	}
+	if o.HeartbeatMisses <= 0 {
+		o.HeartbeatMisses = 3
+	}
+	if o.ConfigureTimeout <= 0 {
+		o.ConfigureTimeout = 30 * time.Second
+	}
+	return o
+}
+
+// ErrNoWorkers reports that every worker is dead. fleet treats any
+// DispatchCell error as infrastructure failure and runs the cell
+// locally, so a coordinator that outlives its whole fleet degrades to a
+// serial run instead of a dead one.
+var ErrNoWorkers = errors.New("dist: no live workers")
+
+// workerConn is the coordinator's view of one worker.
+type workerConn struct {
+	addr   string
+	client *rpc.Client
+	// guarded by the coordinator's mu:
+	dead  bool
+	inUse int // leased slots
+}
+
+// Coordinator shards cells across a pool of workers; it implements
+// fleet.Dispatcher. One Coordinator serves one run (one generation).
+type Coordinator struct {
+	journal *fleet.Journal
+	opts    Options
+	gen     uint64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	workers []*workerConn
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Connect dials the workers, configures each with the run's meta, and
+// merges every uploaded worker-journal snapshot into journal — the step
+// that makes a resumed coordinator whole again after a crash. At least
+// one worker must come up; unreachable ones are logged and skipped.
+func Connect(addrs []string, journal *fleet.Journal, meta fleet.JournalMeta, opts Options) (*Coordinator, error) {
+	c := &Coordinator{
+		journal: journal,
+		opts:    opts.withDefaults(),
+		// A fresh generation per coordinator incarnation: workers
+		// replace any session an earlier (crashed) coordinator left.
+		gen:  uint64(time.Now().UnixNano())<<8 | uint64(os.Getpid())&0xff,
+		stop: make(chan struct{}),
+	}
+	c.cond = sync.NewCond(&c.mu)
+
+	cfg := &ConfigureArgs{Gen: c.gen, Proto: ProtoVersion, Meta: meta}
+	for _, addr := range addrs {
+		client, err := rpc.Dial("tcp", addr)
+		if err != nil {
+			c.logf("dist: worker %s unreachable: %v", addr, err)
+			continue
+		}
+		var reply ConfigureReply
+		call := client.Go("Worker.Configure", cfg, &reply, make(chan *rpc.Call, 1))
+		var cerr error
+		select {
+		case done := <-call.Done:
+			cerr = done.Error
+		case <-time.After(c.opts.ConfigureTimeout):
+			cerr = fmt.Errorf("no configure reply within %v", c.opts.ConfigureTimeout)
+		}
+		if cerr != nil {
+			c.logf("dist: worker %s rejected configure: %v", addr, cerr)
+			client.Close()
+			continue
+		}
+		if journal != nil && len(reply.Records) > 0 {
+			st, err := journal.Merge(reply.Records)
+			if err != nil {
+				client.Close()
+				c.Close()
+				return nil, fmt.Errorf("dist: merging %s's journal upload: %w", addr, err)
+			}
+			if st.Applied+st.Superseded > 0 {
+				c.logf("dist: merged %d cells from %s (%d recovered failures, %d already known)",
+					st.Applied+st.Superseded, addr, st.Superseded, st.Skipped)
+			}
+		}
+		c.workers = append(c.workers, &workerConn{addr: addr, client: client})
+	}
+	if len(c.workers) == 0 {
+		return nil, fmt.Errorf("dist: none of %d workers reachable", len(addrs))
+	}
+	for _, wc := range c.workers {
+		c.wg.Add(1)
+		go c.heartbeat(wc)
+	}
+	return c, nil
+}
+
+func (c *Coordinator) logf(format string, args ...any) {
+	if c.opts.Logf != nil {
+		c.opts.Logf(format, args...)
+	}
+}
+
+// Slots returns the total lease capacity — the natural fleet worker
+// count for the dispatching Map, so every worker slot can hold a cell.
+func (c *Coordinator) Slots() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers) * c.opts.SlotsPerWorker
+}
+
+// Live returns how many workers are currently usable.
+func (c *Coordinator) Live() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.liveLocked()
+}
+
+func (c *Coordinator) liveLocked() int {
+	n := 0
+	for _, wc := range c.workers {
+		if !wc.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// markDead declares a worker unusable and closes its client, which
+// fails every in-flight call on it — the lease-revocation path.
+func (c *Coordinator) markDead(wc *workerConn, cause error) {
+	c.mu.Lock()
+	if wc.dead {
+		c.mu.Unlock()
+		return
+	}
+	wc.dead = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.logf("dist: worker %s dead (%v) — reassigning its cells", wc.addr, cause)
+	wc.client.Close()
+}
+
+// heartbeat pings one worker until the coordinator closes; enough
+// consecutive misses (no reply within the interval) kill the worker.
+func (c *Coordinator) heartbeat(wc *workerConn) {
+	defer c.wg.Done()
+	ticker := time.NewTicker(c.opts.HeartbeatEvery)
+	defer ticker.Stop()
+	misses := 0
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-ticker.C:
+		}
+		c.mu.Lock()
+		dead := wc.dead
+		c.mu.Unlock()
+		if dead {
+			return
+		}
+		call := wc.client.Go("Worker.Ping", &PingArgs{Gen: c.gen}, &PingReply{}, make(chan *rpc.Call, 1))
+		select {
+		case done := <-call.Done:
+			if done.Error != nil {
+				c.markDead(wc, fmt.Errorf("ping failed: %w", done.Error))
+				return
+			}
+			misses = 0
+		case <-time.After(c.opts.HeartbeatEvery):
+			misses++
+			if misses >= c.opts.HeartbeatMisses {
+				c.markDead(wc, fmt.Errorf("%d heartbeats unanswered", misses))
+				return
+			}
+		case <-c.stop:
+			return
+		}
+	}
+}
+
+// acquire leases a slot on the least-loaded live worker (excluding
+// `not`, for speculation), blocking while all live workers are
+// saturated. Returns nil when no live worker remains.
+func (c *Coordinator) acquire(not *workerConn) *workerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		if c.closed {
+			return nil
+		}
+		var best *workerConn
+		anyLive := false
+		for _, wc := range c.workers {
+			if wc.dead {
+				continue
+			}
+			anyLive = true
+			if wc == not || wc.inUse >= c.opts.SlotsPerWorker {
+				continue
+			}
+			if best == nil || wc.inUse < best.inUse {
+				best = wc
+			}
+		}
+		if !anyLive {
+			return nil
+		}
+		if best != nil {
+			best.inUse++
+			return best
+		}
+		c.cond.Wait() // all live workers saturated (or excluded); wait for a release or a death
+	}
+}
+
+// tryAcquire is acquire without blocking — the speculation path only
+// duplicates a cell onto capacity that is otherwise idle.
+func (c *Coordinator) tryAcquire(not *workerConn) *workerConn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, wc := range c.workers {
+		if !wc.dead && wc != not && wc.inUse < c.opts.SlotsPerWorker {
+			wc.inUse++
+			return wc
+		}
+	}
+	return nil
+}
+
+func (c *Coordinator) release(wc *workerConn) {
+	c.mu.Lock()
+	wc.inUse--
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// BeginSweep implements fleet.Dispatcher. Workers learn sweeps from
+// their own program, so there is nothing to announce.
+func (c *Coordinator) BeginSweep(sweep uint32, n int) {}
+
+// DispatchCell implements fleet.Dispatcher: lease a worker, push the
+// cell, and on worker death reassign to a survivor — with optional
+// speculative duplication after SpeculateAfter. Only when every worker
+// is gone does it report ErrNoWorkers, making fleet run the cell
+// locally.
+func (c *Coordinator) DispatchCell(sweep, cell uint32, label string) (*fleet.CellOutcome, error) {
+	args := &RunCellArgs{Gen: c.gen, Sweep: sweep, Cell: cell, Label: label}
+	var lastErr error
+	for {
+		primary := c.acquire(nil)
+		if primary == nil {
+			if lastErr != nil {
+				return nil, fmt.Errorf("%w (last worker error: %v)", ErrNoWorkers, lastErr)
+			}
+			return nil, ErrNoWorkers
+		}
+		res, err := c.runCellOn(primary, args)
+		if err == nil {
+			return res, nil
+		}
+		lastErr = err // every lease holder died mid-call; lease again on a survivor
+	}
+}
+
+// runCellOn pushes the cell to primary, optionally duplicating it onto
+// an idle worker after the speculation delay. First successful reply
+// wins; the call fails only when every worker it leased died.
+func (c *Coordinator) runCellOn(primary *workerConn, args *RunCellArgs) (*fleet.CellOutcome, error) {
+	type reply struct {
+		res *RunCellReply
+		err error
+		wc  *workerConn
+	}
+	ch := make(chan reply, 2) // buffered: a losing duplicate must not leak its goroutine
+	launch := func(wc *workerConn) {
+		go func() {
+			var r RunCellReply
+			err := wc.client.Call("Worker.RunCell", args, &r)
+			c.release(wc)
+			ch <- reply{&r, err, wc}
+		}()
+	}
+	launch(primary)
+	inFlight := 1
+
+	var spec <-chan time.Time
+	if c.opts.SpeculateAfter > 0 {
+		spec = time.After(c.opts.SpeculateAfter)
+	}
+	var lastErr error
+	for inFlight > 0 {
+		select {
+		case r := <-ch:
+			inFlight--
+			if r.err == nil {
+				return &r.res.Outcome, nil
+			}
+			// The worker (or its session) failed mid-lease: revoke it and
+			// let the other attempt — if any — finish.
+			c.markDead(r.wc, r.err)
+			lastErr = r.err
+		case <-spec:
+			spec = nil
+			if wc := c.tryAcquire(primary); wc != nil {
+				c.logf("dist: speculating sweep %d cell %d onto %s", args.Sweep, args.Cell, wc.addr)
+				launch(wc)
+				inFlight++
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// SweepDone implements fleet.Dispatcher: every cell of the sweep has
+// merged into the canonical journal, so release the workers' ServeSweep
+// calls. Delivery is asynchronous and best-effort — a worker that
+// misses it is either dead (and gets torn down) or will be released by
+// the next coordinator incarnation's Configure.
+func (c *Coordinator) SweepDone(sweep uint32) {
+	args := &EndSweepArgs{Gen: c.gen, Sweep: sweep}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, wc := range c.workers {
+		if wc.dead {
+			continue
+		}
+		wc.client.Go("Worker.EndSweep", args, &Empty{}, make(chan *rpc.Call, 1))
+	}
+}
+
+// ShutdownWorkers asks every live worker process to exit — the clean
+// end of a run whose workers this coordinator owns.
+func (c *Coordinator) ShutdownWorkers() {
+	c.mu.Lock()
+	workers := append([]*workerConn(nil), c.workers...)
+	c.mu.Unlock()
+	for _, wc := range workers {
+		c.mu.Lock()
+		dead := wc.dead
+		c.mu.Unlock()
+		if dead {
+			continue
+		}
+		wc.client.Call("Worker.Shutdown", &ShutdownArgs{}, &Empty{})
+	}
+}
+
+// Close stops heartbeats and disconnects. Workers keep running (a
+// resumed coordinator may reconnect to them) unless ShutdownWorkers was
+// called first.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	close(c.stop)
+	c.wg.Wait()
+	for _, wc := range c.workers {
+		wc.client.Close()
+	}
+}

@@ -1,0 +1,171 @@
+package dist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"time"
+
+	"halfback/internal/fleet"
+)
+
+// Forked is a set of worker processes a coordinator launched on the
+// local machine (the single-binary `-distributed N` mode). Workers exit
+// on Shutdown RPC or — because their stdin is a pipe from this process
+// — when the coordinator dies, so no children outlive a crash.
+type Forked struct {
+	Addrs  []string
+	cmds   []*exec.Cmd
+	stdins []io.WriteCloser
+}
+
+// forkStartTimeout bounds how long a forked worker may take to announce
+// its listening address.
+const forkStartTimeout = 30 * time.Second
+
+// Fork launches n worker processes of binary, each with argsFor(i) on
+// its command line (which must put the worker into -serve-worker mode
+// on a self-picked port), and waits for each to announce its address.
+func Fork(binary string, n int, argsFor func(i int) []string) (*Forked, error) {
+	f := &Forked{}
+	for i := 0; i < n; i++ {
+		cmd := exec.Command(binary, argsFor(i)...)
+		cmd.Env = append(os.Environ(), stdinExitEnv+"=1")
+		cmd.Stderr = os.Stderr
+		stdin, err := cmd.StdinPipe()
+		if err != nil {
+			f.Stop()
+			return nil, err
+		}
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			f.Stop()
+			return nil, err
+		}
+		if err := cmd.Start(); err != nil {
+			f.Stop()
+			return nil, fmt.Errorf("dist: fork worker %d: %w", i, err)
+		}
+		f.cmds = append(f.cmds, cmd)
+		f.stdins = append(f.stdins, stdin)
+
+		addr, err := awaitListenLine(stdout)
+		if err != nil {
+			f.Stop()
+			return nil, fmt.Errorf("dist: worker %d: %w", i, err)
+		}
+		f.Addrs = append(f.Addrs, addr)
+		// Keep draining so the child never blocks on a full stdout pipe.
+		go io.Copy(io.Discard, stdout)
+	}
+	return f, nil
+}
+
+// awaitListenLine scans the worker's stdout for its address line.
+func awaitListenLine(stdout io.Reader) (string, error) {
+	type scanned struct {
+		addr string
+		err  error
+	}
+	ch := make(chan scanned, 1)
+	sc := bufio.NewScanner(stdout)
+	go func() {
+		for sc.Scan() {
+			if line := sc.Text(); strings.HasPrefix(line, listenLinePrefix) {
+				ch <- scanned{addr: strings.TrimPrefix(line, listenLinePrefix)}
+				return
+			}
+		}
+		ch <- scanned{err: fmt.Errorf("exited before announcing its address (%v)", sc.Err())}
+	}()
+	select {
+	case s := <-ch:
+		return s.addr, s.err
+	case <-time.After(forkStartTimeout):
+		return "", fmt.Errorf("no address announced within %v", forkStartTimeout)
+	}
+}
+
+// Kill SIGKILLs worker i — the chaos-test path.
+func (f *Forked) Kill(i int) error {
+	return f.cmds[i].Process.Kill()
+}
+
+// Stop ends every worker: close stdin (the cooperative exit), give them
+// a moment, then kill stragglers, and reap.
+func (f *Forked) Stop() {
+	for _, in := range f.stdins {
+		in.Close()
+	}
+	for _, cmd := range f.cmds {
+		done := make(chan struct{})
+		go func() {
+			cmd.Wait()
+			close(done)
+		}()
+		select {
+		case <-done:
+		case <-time.After(5 * time.Second):
+			cmd.Process.Kill()
+			<-done
+		}
+	}
+}
+
+// WorkerJournalPath names worker i's local journal for a run whose
+// canonical journal lives at journalPath — `<journal>.w<i>`.
+func WorkerJournalPath(journalPath string, i int) string {
+	return fmt.Sprintf("%s.w%d", journalPath, i)
+}
+
+// workerJournalPattern matches the `.w<i>` suffix WorkerJournalPath
+// appends (and nothing else — repro bundles etc. share the prefix).
+var workerJournalPattern = regexp.MustCompile(`\.w\d+$`)
+
+// MergeWorkerJournals folds every `<journal>.w<i>` file next to the
+// canonical journal into it — the belt-and-braces recovery path for a
+// `-distributed` coordinator resuming after a crash: even workers that
+// never come back contribute everything they made durable. Torn tails
+// (workers killed mid-append) merge their valid prefix. Returns how
+// many cells were applied or recovered.
+func MergeWorkerJournals(j *fleet.Journal, logf func(string, ...any)) (int, error) {
+	matches, err := filepath.Glob(j.Path() + ".w*")
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(matches)
+	total := 0
+	for _, path := range matches {
+		if !workerJournalPattern.MatchString(path) {
+			continue
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return total, err
+		}
+		scan, err := fleet.ScanJournal(data)
+		if err != nil {
+			// An unusable worker journal (e.g. killed before the meta
+			// record landed) has nothing to contribute; skip it.
+			if logf != nil {
+				logf("dist: skipping unusable worker journal %s: %v", path, err)
+			}
+			continue
+		}
+		st, err := j.Merge(scan.Records)
+		if err != nil {
+			return total, fmt.Errorf("dist: merging %s: %w", path, err)
+		}
+		if logf != nil && st.Applied+st.Superseded > 0 {
+			logf("dist: merged %d cells from %s", st.Applied+st.Superseded, path)
+		}
+		total += st.Applied + st.Superseded
+	}
+	return total, nil
+}

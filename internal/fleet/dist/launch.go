@@ -1,0 +1,50 @@
+package dist
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"halfback/internal/fleet"
+)
+
+// LaunchCoordinator is the CLI glue both tools share: resolve the
+// worker set — either the comma-separated remote addresses or forkN
+// re-executions of this binary — and Connect a Coordinator for the
+// journal's run. argsFor names the command line of forked worker i
+// (ignored in remote mode). Exactly one of remoteAddrs / forkN must be
+// set. On error nothing is left running.
+func LaunchCoordinator(journal *fleet.Journal, remoteAddrs string, forkN int, opts Options, argsFor func(i int) []string) (*Coordinator, *Forked, error) {
+	var (
+		forked *Forked
+		addrs  []string
+	)
+	if forkN > 0 {
+		exe, err := os.Executable()
+		if err != nil {
+			return nil, nil, fmt.Errorf("dist: locate own binary: %w", err)
+		}
+		forked, err = Fork(exe, forkN, argsFor)
+		if err != nil {
+			return nil, nil, err
+		}
+		addrs = forked.Addrs
+	} else {
+		for _, a := range strings.Split(remoteAddrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				addrs = append(addrs, a)
+			}
+		}
+		if len(addrs) == 0 {
+			return nil, nil, fmt.Errorf("dist: no worker addresses")
+		}
+	}
+	coord, err := Connect(addrs, journal, journal.Meta(), opts)
+	if err != nil {
+		if forked != nil {
+			forked.Stop()
+		}
+		return nil, nil, err
+	}
+	return coord, forked, nil
+}

@@ -1,0 +1,101 @@
+// Package dist is the distributed sweep fabric (DESIGN.md §12): a
+// coordinator that shards sweep cells across worker processes over
+// stdlib net/rpc, merging their results into the canonical write-ahead
+// journal so a distributed run is byte-identical to a serial one and
+// resumable across coordinator and worker crashes.
+//
+// The model is push-based and leans entirely on determinism:
+//
+//   - Both sides run the same program (same tool, args and seed). The
+//     coordinator runs it with a fleet.Dispatcher attached; each worker
+//     runs it with a fleet.SweepServer attached. Because sweep IDs are
+//     assigned in Map-call order and every cell derives everything from
+//     its own seed, the two processes agree on (sweep, cell) addressing
+//     and on every cell's result bytes without negotiation.
+//
+//   - Workers are net/rpc servers. The coordinator dials them, sends one
+//     Configure carrying the run's journal meta (the worker re-derives
+//     the whole run from it), then pushes RunCell calls. A worker's
+//     Configure reply uploads everything its local journal already holds
+//     — the recovery path for a coordinator that crashed and resumed.
+//
+//   - A lease is simply an outstanding RunCell call. Worker death is
+//     detected by the call failing (TCP reset) or by missed Ping
+//     heartbeats; either way the coordinator marks the worker dead,
+//     which fails its in-flight calls, and the affected cells are
+//     reassigned to surviving workers — or executed locally when no
+//     worker is left. Duplicated execution is safe: results are
+//     seed-determined, so first-result-wins is deterministic.
+package dist
+
+import "halfback/internal/fleet"
+
+// ProtoVersion guards against a coordinator and worker built from
+// different journal or wire formats talking past each other.
+const ProtoVersion = 1
+
+// ConfigureArgs establishes (or re-establishes) a worker session: the
+// worker tears down any previous session, starts the run Meta describes
+// with a SweepServer attached, and replies with its journal snapshot.
+type ConfigureArgs struct {
+	// Gen identifies one coordinator incarnation. A Configure with the
+	// generation the worker already runs is an idempotent reconnect; a
+	// new generation replaces the session.
+	Gen   uint64
+	Proto int
+	Meta  fleet.JournalMeta
+}
+
+// ConfigureReply uploads the worker's durable state: the latest record
+// of every (sweep, cell) its local journal holds, for Merge into the
+// canonical journal.
+type ConfigureReply struct {
+	Records []fleet.JournalRecord
+}
+
+// RunCellArgs asks the worker to produce one cell's outcome. The call
+// blocks until the worker's program registers the sweep (both sides
+// reach sweeps in the same order, so the wait is brief).
+type RunCellArgs struct {
+	Gen   uint64
+	Sweep uint32
+	Cell  uint32
+	Label string
+}
+
+// RunCellReply carries the cell's terminal outcome — the gob payload of
+// a success or the recorded failure. RPC-level errors, by contrast,
+// mean the worker could not serve at all (stale session, dead program)
+// and the coordinator reassigns the cell.
+type RunCellReply struct {
+	Outcome fleet.CellOutcome
+}
+
+// EndSweepArgs tells the worker every cell of the sweep has merged into
+// the canonical journal; its program's Map call returns and the run
+// advances. EndSweep is sticky: arriving before the worker registers
+// the sweep (a fully-replayed sweep on the coordinator side) completes
+// the registration immediately when it happens.
+type EndSweepArgs struct {
+	Gen   uint64
+	Sweep uint32
+}
+
+// PingArgs is the heartbeat. A worker that stops answering within the
+// coordinator's miss budget is declared dead.
+type PingArgs struct {
+	Gen uint64
+}
+
+// PingReply reports worker liveness (the RPC completing is the signal;
+// the fields are diagnostics).
+type PingReply struct {
+	// Running is true while the worker's program is still executing.
+	Running bool
+}
+
+// ShutdownArgs asks the worker process to exit cleanly.
+type ShutdownArgs struct{}
+
+// Empty is the reply type of calls with nothing to say.
+type Empty struct{}

@@ -1,0 +1,420 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/rpc"
+	"os"
+	"os/signal"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"halfback/internal/fleet"
+)
+
+// StartFunc runs one tool's full sweep program on a worker: it re-parses
+// meta.Args exactly like `-resume` does, attaches run (journal + Serve
+// hook) to every sweep, and returns when the program completes or ctx is
+// canceled. It must not print to stdout — the coordinator owns output.
+type StartFunc func(ctx context.Context, meta fleet.JournalMeta, run *fleet.Run) error
+
+// WorkerOptions configures a worker process.
+type WorkerOptions struct {
+	// JournalPath, when non-empty, is the worker's local write-ahead
+	// journal: resumed if present, created otherwise at the first
+	// Configure. It is the worker's contribution to coordinator-crash
+	// recovery — its snapshot is uploaded on every Configure.
+	JournalPath string
+	// Start runs the configured program (required).
+	Start StartFunc
+	// RegisterWait bounds how long a RunCell call waits for the program
+	// to offer its sweep (default 30s). Both sides run the same
+	// deterministic program and advance sweeps in lockstep, so a sweep
+	// the coordinator asks for is at most a program-startup away; a
+	// worker that blows this deadline has a hung or dead program, and
+	// the erroring call makes the coordinator reassign the cell.
+	RegisterWait time.Duration
+	// Logf, when non-nil, receives worker diagnostics (stderr-style).
+	Logf func(format string, args ...any)
+}
+
+func (o WorkerOptions) registerWait() time.Duration {
+	if o.RegisterWait <= 0 {
+		return 30 * time.Second
+	}
+	return o.RegisterWait
+}
+
+// Worker is one worker process's RPC state: at most one live session (a
+// generation + the running program) at a time.
+type Worker struct {
+	opts WorkerOptions
+
+	mu   sync.Mutex
+	sess *session
+
+	stopOnce sync.Once
+	done     chan struct{}
+}
+
+// NewWorker builds a worker. Serve must be called to accept sessions.
+func NewWorker(opts WorkerOptions) *Worker {
+	return &Worker{opts: opts, done: make(chan struct{})}
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.opts.Logf != nil {
+		w.opts.Logf(format, args...)
+	}
+}
+
+// Done is closed when the worker is asked to stop (Shutdown RPC, signal
+// or stdin EOF under a forking parent).
+func (w *Worker) Done() <-chan struct{} { return w.done }
+
+// Stop tears the worker down: the live session is canceled and Serve
+// returns. Idempotent.
+func (w *Worker) Stop() {
+	w.stopOnce.Do(func() {
+		close(w.done)
+		w.mu.Lock()
+		sess := w.sess
+		w.mu.Unlock()
+		if sess != nil {
+			sess.teardown()
+		}
+	})
+}
+
+// Serve accepts coordinator connections on lis until Stop.
+func (w *Worker) Serve(lis net.Listener) error {
+	srv := rpc.NewServer()
+	if err := srv.RegisterName("Worker", &workerAPI{w}); err != nil {
+		return err
+	}
+	go func() {
+		<-w.done
+		lis.Close()
+	}()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-w.done:
+				return nil
+			default:
+				return err
+			}
+		}
+		go srv.ServeConn(conn)
+	}
+}
+
+// session is one configured run on a worker: the generation that owns
+// it, the program goroutine, its journal, and the sweeps the program has
+// offered so far.
+type session struct {
+	gen     uint64
+	ctx     context.Context
+	cancel  context.CancelFunc
+	journal *fleet.Journal
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	sweeps   map[uint32]*sweepState
+	finished bool  // program goroutine returned
+	err      error // its terminal error
+	exited   chan struct{}
+}
+
+// sweepState tracks one sweep on the worker. It is created by whichever
+// side arrives first: the program registering it (ServeSweep) or the
+// coordinator ending it (EndSweep before registration, the
+// fully-replayed-sweep case).
+type sweepState struct {
+	registered bool
+	n          int
+	run        func(cell uint32) *fleet.CellOutcome
+	endOnce    sync.Once
+	ended      chan struct{}
+}
+
+func newSession(gen uint64, journal *fleet.Journal) *session {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &session{
+		gen: gen, ctx: ctx, cancel: cancel, journal: journal,
+		sweeps: make(map[uint32]*sweepState),
+		exited: make(chan struct{}),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	return s
+}
+
+func (s *session) sweepState(id uint32) *sweepState {
+	ss := s.sweeps[id]
+	if ss == nil {
+		ss = &sweepState{ended: make(chan struct{})}
+		s.sweeps[id] = ss
+	}
+	return ss
+}
+
+// ServeSweep implements fleet.SweepServer: it publishes the sweep's
+// cell runner for RunCell calls and blocks until the coordinator ends
+// the sweep or the session dies.
+func (s *session) ServeSweep(sweep uint32, n int, run func(cell uint32) *fleet.CellOutcome) error {
+	s.mu.Lock()
+	ss := s.sweepState(sweep)
+	ss.registered, ss.n, ss.run = true, n, run
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	select {
+	case <-ss.ended:
+		return nil
+	case <-s.ctx.Done():
+		return s.ctx.Err()
+	}
+}
+
+// waitSweep blocks until the program registers the sweep — or errors
+// when the program exits, the session is torn down, or the wait
+// deadline passes (a hung program; the coordinator reassigns).
+func (s *session) waitSweep(id uint32, wait time.Duration) (*sweepState, error) {
+	deadline := time.Now().Add(wait)
+	timer := time.AfterFunc(wait, func() {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	})
+	defer timer.Stop()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		// Teardown wins over a registered sweep: a stopped worker must
+		// refuse new leases even though the closures are still in memory.
+		if err := s.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dist: session torn down: %w", err)
+		}
+		if ss := s.sweeps[id]; ss != nil && ss.registered {
+			return ss, nil
+		}
+		if s.finished {
+			if s.err != nil {
+				return nil, fmt.Errorf("dist: worker program exited before sweep %d: %w", id, s.err)
+			}
+			return nil, fmt.Errorf("dist: worker program completed without offering sweep %d", id)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("dist: program did not offer sweep %d within %v", id, wait)
+		}
+		s.cond.Wait()
+	}
+}
+
+// finish records the program goroutine's exit.
+func (s *session) finish(err error) {
+	s.mu.Lock()
+	s.finished, s.err = true, err
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	close(s.exited)
+}
+
+// teardown cancels the session and waits for its program to exit.
+func (s *session) teardown() {
+	s.cancel()
+	s.mu.Lock()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	<-s.exited
+	if s.journal != nil {
+		s.journal.Close()
+	}
+}
+
+// workerAPI is the RPC surface; only these methods are exported to the
+// wire.
+type workerAPI struct{ w *Worker }
+
+// Configure establishes the session for args.Gen: idempotent for the
+// live generation, a full replace for a new one. The reply uploads the
+// worker journal's snapshot either way.
+func (a *workerAPI) Configure(args *ConfigureArgs, reply *ConfigureReply) error {
+	w := a.w
+	if args.Proto != ProtoVersion {
+		return fmt.Errorf("dist: protocol version mismatch: coordinator %d, worker %d", args.Proto, ProtoVersion)
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	select {
+	case <-w.done:
+		return errors.New("dist: worker stopping")
+	default:
+	}
+	if s := w.sess; s != nil && s.gen == args.Gen {
+		// Reconnect from the same coordinator incarnation: the program is
+		// already running; just re-upload the snapshot.
+		if s.journal != nil {
+			reply.Records = s.journal.SnapshotRecords()
+		}
+		return nil
+	}
+	if s := w.sess; s != nil {
+		w.logf("dist worker: replacing session gen=%d with gen=%d", s.gen, args.Gen)
+		w.sess = nil
+		w.mu.Unlock()
+		s.teardown()
+		w.mu.Lock()
+	}
+
+	var journal *fleet.Journal
+	if path := w.opts.JournalPath; path != "" {
+		var err error
+		if _, serr := os.Stat(path); serr == nil {
+			journal, err = fleet.ResumeJournal(path)
+		} else {
+			journal, err = fleet.CreateJournal(path, args.Meta)
+		}
+		if err != nil {
+			return fmt.Errorf("dist: worker journal: %w", err)
+		}
+		reply.Records = journal.SnapshotRecords()
+	}
+
+	sess := newSession(args.Gen, journal)
+	w.sess = sess
+	meta := args.Meta
+	go func() {
+		err := w.opts.Start(sess.ctx, meta, &fleet.Run{Journal: journal, Serve: sess})
+		if err != nil && sess.ctx.Err() == nil {
+			w.logf("dist worker: program exited: %v", err)
+		}
+		sess.finish(err)
+	}()
+	w.logf("dist worker: session gen=%d configured (%s seed=%d, %d journaled cells uploaded)",
+		args.Gen, meta.Tool, meta.Seed, len(reply.Records))
+	return nil
+}
+
+// liveSession returns the session owning gen, or an error the
+// coordinator treats as this worker being unusable.
+func (w *Worker) liveSession(gen uint64) (*session, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.sess == nil || w.sess.gen != gen {
+		return nil, fmt.Errorf("dist: stale generation %d", gen)
+	}
+	return w.sess, nil
+}
+
+// RunCell executes one cell through the sweep's registered runner with
+// the full local semantics (replay, retries, panic capture, worker-side
+// journaling) and replies its wire outcome.
+func (a *workerAPI) RunCell(args *RunCellArgs, reply *RunCellReply) error {
+	sess, err := a.w.liveSession(args.Gen)
+	if err != nil {
+		return err
+	}
+	ss, err := sess.waitSweep(args.Sweep, a.w.opts.registerWait())
+	if err != nil {
+		return err
+	}
+	if int(args.Cell) >= ss.n {
+		return fmt.Errorf("dist: cell %d out of range for sweep %d (n=%d)", args.Cell, args.Sweep, ss.n)
+	}
+	res := ss.run(args.Cell)
+	reply.Outcome = *res
+	return nil
+}
+
+// EndSweep releases the program's ServeSweep for the given sweep;
+// sticky if it arrives before registration.
+func (a *workerAPI) EndSweep(args *EndSweepArgs, _ *Empty) error {
+	sess, err := a.w.liveSession(args.Gen)
+	if err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	ss := sess.sweepState(args.Sweep)
+	sess.mu.Unlock()
+	ss.endOnce.Do(func() { close(ss.ended) })
+	return nil
+}
+
+// Ping answers the heartbeat for a live generation.
+func (a *workerAPI) Ping(args *PingArgs, reply *PingReply) error {
+	sess, err := a.w.liveSession(args.Gen)
+	if err != nil {
+		return err
+	}
+	sess.mu.Lock()
+	reply.Running = !sess.finished
+	sess.mu.Unlock()
+	return nil
+}
+
+// Shutdown stops the worker process.
+func (a *workerAPI) Shutdown(_ *ShutdownArgs, _ *Empty) error {
+	a.w.logf("dist worker: shutdown requested")
+	go a.w.Stop() // let the reply flush before the listener dies
+	return nil
+}
+
+// listenLinePrefix is what a worker prints (stdout, own line) once it
+// accepts connections; Fork scans for it to learn the bound address.
+const listenLinePrefix = "DIST WORKER "
+
+// stdinExitEnv marks a worker forked by a coordinator: when set, stdin
+// EOF (the parent died) stops the worker, so `-distributed` runs never
+// leak children past their coordinator.
+const stdinExitEnv = "HALFBACK_DIST_STDIN_EXIT"
+
+// ServeWorker is the `-serve-worker` entry point shared by the CLIs: it
+// binds addr (host:0 picks a port), announces the bound address on
+// stdout, and serves coordinator sessions until a Shutdown RPC, a
+// SIGINT/SIGTERM, or — for forked workers — stdin EOF. Returns the
+// process exit code.
+func ServeWorker(addr, journalPath string, start StartFunc, logf func(string, ...any)) int {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		if logf != nil {
+			logf("dist worker: listen %s: %v", addr, err)
+		}
+		return 2
+	}
+	fmt.Printf("%s%s\n", listenLinePrefix, lis.Addr())
+	w := NewWorker(WorkerOptions{JournalPath: journalPath, Start: start, Logf: logf})
+
+	var interrupted atomic.Bool
+	ch := make(chan os.Signal, 2)
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-ch
+		interrupted.Store(true)
+		w.Stop()
+		<-ch
+		os.Exit(130)
+	}()
+	if os.Getenv(stdinExitEnv) != "" {
+		go func() {
+			io.Copy(io.Discard, os.Stdin)
+			w.Stop()
+		}()
+	}
+
+	if err := w.Serve(lis); err != nil {
+		if logf != nil {
+			logf("dist worker: %v", err)
+		}
+		return 1
+	}
+	if interrupted.Load() {
+		return 130
+	}
+	return 0
+}

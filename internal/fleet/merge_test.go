@@ -1,0 +1,516 @@
+package fleet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// journalOp is one append against a journal under construction — the
+// building block the merge tables use to describe both sides.
+type journalOp struct {
+	sweep, cell uint32
+	fail        bool
+	name        string // success: cellResult.Name; failure: error text
+}
+
+func applyOps(t *testing.T, j *Journal, ops []journalOp) {
+	t.Helper()
+	for _, op := range ops {
+		if op.fail {
+			j.appendFailure(op.sweep, op.cell, fmt.Sprintf("cell-%d", op.cell), ClassError, op.name)
+			continue
+		}
+		if err := j.appendCell(op.sweep, op.cell, &cellResult{Name: op.name, Value: float64(op.cell)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// buildOpsJournal writes a journal from ops and returns its path.
+func buildOpsJournal(t *testing.T, ops []journalOp) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "ops.journal")
+	j, err := CreateJournal(path, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	applyOps(t, j, ops)
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// scanPath scans a journal file, failing the test on hard errors.
+func scanPath(t *testing.T, path string) *JournalScan {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scan, err := ScanJournal(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scan
+}
+
+// cellState is the observable per-cell outcome after replay: either a
+// success name or a failure message.
+type cellState struct {
+	failed bool
+	name   string
+}
+
+// foldRecords computes last-record-wins per (sweep, cell) — the
+// reference model the merge policy extends across journals.
+func foldRecords(t testing.TB, recs []JournalRecord) map[cellKey]cellState {
+	out := make(map[cellKey]cellState)
+	for _, rec := range recs {
+		key := cellKey{rec.Sweep, rec.Cell}
+		switch rec.Kind {
+		case recCell:
+			var v cellResult
+			name := ""
+			if err := decodeCell(rec.Data, &v); err == nil {
+				name = v.Name
+			}
+			out[key] = cellState{name: name}
+		case recFail:
+			out[key] = cellState{failed: true, name: rec.Error}
+		}
+	}
+	return out
+}
+
+// TestMergeJournals pins the cross-journal merge policy over the edge
+// cases a distributed run produces: duplicate records from a
+// reassigned-then-revived worker, success-vs-failure conflicts in both
+// directions, and within-source last-record-wins.
+func TestMergeJournals(t *testing.T) {
+	cases := []struct {
+		name string
+		dst  []journalOp // pre-existing canonical journal state
+		src  []journalOp // worker records to merge (scanned from a file)
+		want MergeStats
+		// final expected per-cell state after merge, keyed "sweep/cell";
+		// value "name" for success, "!msg" for failure.
+		final map[string]string
+	}{
+		{
+			// A worker that was presumed dead, had its cells reassigned,
+			// then revived and uploaded its own (byte-identical) results.
+			name: "duplicate success from revived worker",
+			dst:  []journalOp{{0, 0, false, "a"}, {0, 1, false, "b"}},
+			src:  []journalOp{{0, 0, false, "a"}, {0, 1, false, "b"}},
+			want: MergeStats{Skipped: 2},
+			final: map[string]string{
+				"0/0": "a", "0/1": "b",
+			},
+		},
+		{
+			name: "incoming success supersedes destination failure",
+			dst:  []journalOp{{0, 0, true, "oom on coordinator"}},
+			src:  []journalOp{{0, 0, false, "recovered"}},
+			want: MergeStats{Superseded: 1},
+			final: map[string]string{
+				"0/0": "recovered",
+			},
+		},
+		{
+			name: "incoming failure never downgrades destination success",
+			dst:  []journalOp{{0, 0, false, "good"}},
+			src:  []journalOp{{0, 0, true, "worker-side flake"}},
+			want: MergeStats{Skipped: 1},
+			final: map[string]string{
+				"0/0": "good",
+			},
+		},
+		{
+			name: "both sides failed keeps destination record",
+			dst:  []journalOp{{0, 0, true, "dst failure"}},
+			src:  []journalOp{{0, 0, true, "src failure"}},
+			want: MergeStats{Skipped: 1},
+			final: map[string]string{
+				"0/0": "!dst failure",
+			},
+		},
+		{
+			name: "failure lands only on unknown cells",
+			dst:  []journalOp{{0, 0, false, "done"}},
+			src:  []journalOp{{0, 1, true, "new failure"}, {0, 2, false, "new success"}},
+			want: MergeStats{Applied: 2, Skipped: 0},
+			final: map[string]string{
+				"0/0": "done", "0/1": "!new failure", "0/2": "new success",
+			},
+		},
+		{
+			// Within one source the LAST record per cell wins, exactly as
+			// single-journal replay would resolve it.
+			name: "within-source last record wins",
+			dst:  nil,
+			src: []journalOp{
+				{0, 0, true, "first attempt"},
+				{0, 0, false, "retry worked"},
+				{0, 1, false, "stale"},
+				{0, 1, true, "superseded"},
+			},
+			want: MergeStats{Applied: 2},
+			final: map[string]string{
+				"0/0": "retry worked", "0/1": "!superseded",
+			},
+		},
+		{
+			name: "multi-sweep records keep their sweep addressing",
+			dst:  []journalOp{{0, 0, false, "s0"}},
+			src:  []journalOp{{1, 0, false, "s1"}, {2, 3, true, "s2 broke"}},
+			want: MergeStats{Applied: 2},
+			final: map[string]string{
+				"0/0": "s0", "1/0": "s1", "2/3": "!s2 broke",
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dstPath := filepath.Join(t.TempDir(), "canon.journal")
+			dst, err := CreateJournal(dstPath, testMeta())
+			if err != nil {
+				t.Fatal(err)
+			}
+			applyOps(t, dst, tc.dst)
+
+			srcScan := scanPath(t, buildOpsJournal(t, tc.src))
+			st, err := dst.Merge(srcScan.Records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st != tc.want {
+				t.Fatalf("MergeStats = %+v, want %+v", st, tc.want)
+			}
+
+			// Re-merging the same records must be a no-op: everything now
+			// loses to existing destination state.
+			again, err := dst.Merge(srcScan.Records)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if again.Applied != 0 || again.Superseded != 0 {
+				t.Fatalf("re-merge not idempotent: %+v", again)
+			}
+			if err := dst.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			// The merged journal must rescan clean and replay to exactly
+			// the expected per-cell state.
+			scan := scanPath(t, dstPath)
+			if scan.TailErr != nil {
+				t.Fatalf("merged journal has tail error: %v", scan.TailErr)
+			}
+			got := foldRecords(t, scan.Records)
+			if len(got) != len(tc.final) {
+				t.Fatalf("merged state has %d cells, want %d: %v", len(got), len(tc.final), got)
+			}
+			for keyStr, want := range tc.final {
+				var sweep, cell uint32
+				fmt.Sscanf(keyStr, "%d/%d", &sweep, &cell)
+				state, ok := got[cellKey{sweep, cell}]
+				if !ok {
+					t.Fatalf("cell %s missing from merged journal", keyStr)
+				}
+				if want[0] == '!' {
+					if !state.failed || state.name != want[1:] {
+						t.Fatalf("cell %s = %+v, want failure %q", keyStr, state, want[1:])
+					}
+				} else if state.failed || state.name != want {
+					t.Fatalf("cell %s = %+v, want success %q", keyStr, state, want)
+				}
+			}
+
+			// And a ResumeJournal of the merged file must agree with the
+			// in-memory state Merge left behind.
+			resumed, err := ResumeJournal(dstPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resumed.Close()
+			for keyStr, want := range tc.final {
+				var sweep, cell uint32
+				fmt.Sscanf(keyStr, "%d/%d", &sweep, &cell)
+				data, ok := resumed.lookupCell(sweep, cell)
+				if want[0] == '!' {
+					if ok {
+						t.Fatalf("failed cell %s replays after resume", keyStr)
+					}
+					continue
+				}
+				if !ok {
+					t.Fatalf("cell %s does not replay after resume", keyStr)
+				}
+				var v cellResult
+				if err := decodeCell(data, &v); err != nil || v.Name != want {
+					t.Fatalf("cell %s resumed as %+v (%v), want %q", keyStr, v, err, want)
+				}
+			}
+		})
+	}
+}
+
+// A worker journal with a torn tail (the worker was SIGKILLed mid-append)
+// merges its valid prefix; the torn record is simply absent.
+func TestMergeTornWorkerJournal(t *testing.T) {
+	workerPath := buildOpsJournal(t, []journalOp{
+		{0, 0, false, "first"},
+		{0, 1, false, "second"},
+		{0, 2, false, "torn-away"},
+	})
+	full, err := os.ReadFile(workerPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := ScanJournal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := clean.Records[len(clean.Records)-1]
+	// Cut mid-way through the last record, as a crash during write(2)
+	// would leave it.
+	torn := full[:last.Offset+last.Len/2]
+
+	scan, err := ScanJournal(torn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if scan.TailErr == nil || len(scan.Records) != 2 {
+		t.Fatalf("torn scan: %d records, tail=%v; want 2 records + tail error",
+			len(scan.Records), scan.TailErr)
+	}
+
+	dstPath := filepath.Join(t.TempDir(), "canon.journal")
+	dst, err := CreateJournal(dstPath, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	st, err := dst.Merge(scan.Records)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 2 {
+		t.Fatalf("Applied = %d, want the 2 intact records", st.Applied)
+	}
+	if _, ok := dst.lookupCell(0, 2); ok {
+		t.Fatal("torn record must not merge")
+	}
+}
+
+// Merged cells enter the in-memory replay state: a Map over the merged
+// journal replays them instead of re-executing.
+func TestMergeFeedsReplay(t *testing.T) {
+	workerScan := scanPath(t, buildOpsJournal(t, []journalOp{
+		{0, 0, false, "w-0"}, {0, 2, false, "w-2"},
+	}))
+
+	dstPath := filepath.Join(t.TempDir(), "canon.journal")
+	dst, err := CreateJournal(dstPath, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	if _, err := dst.Merge(workerScan.Records); err != nil {
+		t.Fatal(err)
+	}
+
+	executed := 0
+	out, err := MapOpts(Options{Workers: 1, Run: &Run{Journal: dst}}, 3,
+		func(i, attempt int) (cellResult, error) {
+			executed++
+			return cellResult{Name: fmt.Sprintf("local-%d", i)}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if executed != 1 {
+		t.Fatalf("%d cells executed after merge, want only the unmerged cell 1", executed)
+	}
+	for i, want := range []string{"w-0", "local-1", "w-2"} {
+		if out[i].Name != want {
+			t.Fatalf("out[%d] = %q, want %q", i, out[i].Name, want)
+		}
+	}
+}
+
+// SnapshotRecords → Merge round-trips a live journal's state into
+// another journal — the upload path a reconnecting worker uses.
+func TestMergeFromSnapshotRecords(t *testing.T) {
+	srcPath := filepath.Join(t.TempDir(), "worker.journal")
+	src, err := CreateJournal(srcPath, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	applyOps(t, src, []journalOp{
+		{0, 1, false, "snap-1"},
+		{0, 0, true, "snap-fail"},
+		{1, 5, false, "snap-s1"},
+	})
+
+	recs := src.SnapshotRecords()
+	if len(recs) != 3 {
+		t.Fatalf("%d snapshot records, want 3", len(recs))
+	}
+	// Snapshot order is (sweep, cell)-sorted for determinism.
+	for i := 1; i < len(recs); i++ {
+		a, b := recs[i-1], recs[i]
+		if a.Sweep > b.Sweep || (a.Sweep == b.Sweep && a.Cell >= b.Cell) {
+			t.Fatalf("snapshot not sorted: %+v before %+v", a, b)
+		}
+	}
+
+	dstPath := filepath.Join(t.TempDir(), "canon.journal")
+	dst, err := CreateJournal(dstPath, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dst.Close()
+	st, err := dst.Merge(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Applied != 3 {
+		t.Fatalf("Applied = %d, want 3", st.Applied)
+	}
+	if _, ok := dst.lookupCell(0, 1); !ok {
+		t.Fatal("snapshot success did not merge")
+	}
+	if _, ok := dst.lookupCell(0, 0); ok {
+		t.Fatal("snapshot failure must not replay")
+	}
+}
+
+// buildFuzzImage constructs a journal image for the fuzz seed corpus.
+func buildFuzzImage(f *testing.F, ops []journalOp) []byte {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "seed.journal")
+	j, err := CreateJournal(path, testMeta())
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, op := range ops {
+		if op.fail {
+			j.appendFailure(op.sweep, op.cell, "fz", ClassError, op.name)
+		} else if err := j.appendCell(op.sweep, op.cell, &cellResult{Name: op.name}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		f.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzMergeJournals merges arbitrary source journal images into
+// arbitrary destination images and checks the invariants the
+// distributed design leans on: Merge never errors on scannable input,
+// the merged journal always rescans clean, the final per-cell state
+// matches the documented policy fold, and a second merge is a no-op.
+func FuzzMergeJournals(f *testing.F) {
+	f.Add(buildFuzzImage(f, nil), buildFuzzImage(f, nil))
+	f.Add(
+		buildFuzzImage(f, []journalOp{{0, 0, false, "a"}, {0, 1, true, "x"}}),
+		buildFuzzImage(f, []journalOp{{0, 0, true, "y"}, {0, 1, false, "b"}, {1, 0, false, "c"}}),
+	)
+	f.Add(
+		buildFuzzImage(f, []journalOp{{0, 0, true, "d1"}, {0, 0, false, "d2"}}),
+		buildFuzzImage(f, []journalOp{{0, 0, false, "s1"}, {0, 0, true, "s2"}}),
+	)
+	// A torn source tail: the shape a SIGKILLed worker leaves.
+	tornSrc := buildFuzzImage(f, []journalOp{{2, 7, false, "torn"}})
+	f.Add(buildFuzzImage(f, []journalOp{{2, 7, true, "pre"}}), tornSrc[:len(tornSrc)-3])
+
+	f.Fuzz(func(t *testing.T, dstImage, srcImage []byte) {
+		srcScan, err := ScanJournal(srcImage)
+		if err != nil {
+			t.Skip() // unscannable source: nothing to merge
+		}
+		dstPath := filepath.Join(t.TempDir(), "dst.journal")
+		if err := os.WriteFile(dstPath, dstImage, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		dst, err := ResumeJournal(dstPath)
+		if err != nil {
+			t.Skip() // unusable destination image
+		}
+		defer dst.Close()
+		dstScan := scanPath(t, dstPath) // post-truncation valid prefix
+
+		// Reference model: fold destination records, then apply the merge
+		// policy key by key against the source's own fold.
+		want := foldRecords(t, dstScan.Records)
+		for key, src := range foldRecords(t, srcScan.Records) {
+			have, ok := want[key]
+			switch {
+			case ok && !have.failed:
+				// destination success always stands
+			case !src.failed:
+				want[key] = src // incoming success lands (fresh or supersedes)
+			case !ok:
+				want[key] = src // incoming failure lands on unknown cells only
+			}
+		}
+
+		if _, err := dst.Merge(srcScan.Records); err != nil {
+			t.Fatalf("Merge errored on scannable input: %v", err)
+		}
+		again, err := dst.Merge(srcScan.Records)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again.Applied != 0 || again.Superseded != 0 {
+			t.Fatalf("re-merge not idempotent: %+v", again)
+		}
+		if err := dst.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		merged := scanPath(t, dstPath)
+		if merged.TailErr != nil {
+			t.Fatalf("merged journal rescans dirty: %v", merged.TailErr)
+		}
+		got := foldRecords(t, merged.Records)
+		if len(got) != len(want) {
+			t.Fatalf("merged fold has %d cells, want %d", len(got), len(want))
+		}
+		for key, w := range want {
+			g, ok := got[key]
+			if !ok || g != w {
+				t.Fatalf("cell %v = %+v, want %+v", key, g, w)
+			}
+		}
+	})
+}
+
+// Merging into a closed journal surfaces the append error instead of
+// silently updating in-memory state the file does not reflect.
+func TestMergeClosedJournal(t *testing.T) {
+	srcScan := scanPath(t, buildOpsJournal(t, []journalOp{{0, 0, false, "x"}}))
+	dstPath := filepath.Join(t.TempDir(), "canon.journal")
+	dst, err := CreateJournal(dstPath, testMeta())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst.Close()
+	if _, err := dst.Merge(srcScan.Records); err == nil {
+		t.Fatal("Merge into closed journal must error")
+	}
+	if _, ok := dst.lookupCell(0, 0); ok {
+		t.Fatal("failed merge must not leave phantom replay state")
+	}
+}
