@@ -27,7 +27,13 @@ func runServeWorker(cfg config) int {
 	if cfg.journal != "" || cfg.resume != "" || cfg.workersRemote != "" || cfg.distributed > 0 {
 		return fail(2, "-serve-worker excludes -journal, -resume, -workers-remote and -distributed")
 	}
-	return dist.ServeWorker(cfg.serveWorker, cfg.workerJournal, sweepStart, distLogf)
+	return dist.ServeWorker(dist.ServeConfig{
+		Addr:        cfg.serveWorker,
+		JournalPath: cfg.workerJournal,
+		Key:         dist.ResolveKey(cfg.clusterKey),
+		Start:       sweepStart,
+		Logf:        distLogf,
+	})
 }
 
 // sweepStart runs the journal-described sweep on a worker: the same
@@ -79,7 +85,7 @@ func setupCoordinator(cfg config, journal *fleet.Journal, resuming bool) (coord 
 		}
 	}
 	coord, forked, err := dist.LaunchCoordinator(journal, cfg.workersRemote, cfg.distributed,
-		dist.Options{SpeculateAfter: cfg.speculate, Logf: distLogf},
+		dist.Options{SpeculateAfter: cfg.speculate, Key: dist.ResolveKey(cfg.clusterKey), Logf: distLogf},
 		func(i int) []string {
 			return []string{"-serve-worker", "127.0.0.1:0", "-worker-journal", dist.WorkerJournalPath(journal.Path(), i)}
 		})
@@ -87,6 +93,10 @@ func setupCoordinator(cfg config, journal *fleet.Journal, resuming bool) (coord 
 		return nil, cleanup, fail(1, "%v", err)
 	}
 	cleanup = func() {
+		// The fault-diagnostics line: how rough the control plane was.
+		// All zeros on a clean run, and the first thing to read when a
+		// flaky fleet was slower than it should have been.
+		distLogf("dist: %s", coord.Metrics())
 		coord.Close()
 		if forked != nil {
 			forked.Stop()

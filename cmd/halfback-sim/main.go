@@ -112,6 +112,7 @@ type config struct {
 	workersRemote string
 	distributed   int
 	speculate     time.Duration
+	clusterKey    string
 }
 
 func flagSet(cfg *config) *flag.FlagSet {
@@ -134,6 +135,7 @@ func flagSet(cfg *config) *flag.FlagSet {
 	fs.StringVar(&cfg.workersRemote, "workers-remote", "", "comma-separated worker addresses: coordinate the run across them (requires -journal or -resume)")
 	fs.IntVar(&cfg.distributed, "distributed", 0, "single-binary distributed mode: fork N local workers and coordinate across them (requires -journal or -resume)")
 	fs.DurationVar(&cfg.speculate, "speculate", 0, "re-dispatch a cell to an idle worker after this long; first result wins; 0 disables")
+	fs.StringVar(&cfg.clusterKey, "cluster-key", "", "shared secret authenticating coordinator and workers (defaults to $HALFBACK_CLUSTER_KEY); required for non-loopback workers")
 	return fs
 }
 
@@ -209,6 +211,7 @@ func run(args []string) int {
 		// Distribution is an execution knob like -workers: the resume
 		// command line decides it anew, not the original run's meta.
 		cfg.workersRemote, cfg.distributed, cfg.speculate = override.workersRemote, override.distributed, override.speculate
+		cfg.clusterKey = override.clusterKey
 		journal = j
 		resuming = true
 		fmt.Fprintf(os.Stderr, "halfback-sim: resuming %s (%d journaled cells)\n", j.Path(), j.Replayable())

@@ -106,8 +106,14 @@ func argVal(args []string, prefix string) string {
 func distWorkerMain(args []string) int {
 	addr := argVal(args, "-hbdist.addr=")
 	journal := argVal(args, "-hbdist.journal=")
-	return dist.ServeWorker(addr, journal, distEntryStart, func(format string, a ...any) {
-		fmt.Fprintf(os.Stderr, "dist-test worker: "+format+"\n", a...)
+	return dist.ServeWorker(dist.ServeConfig{
+		Addr:        addr,
+		JournalPath: journal,
+		Key:         dist.ResolveKey(""),
+		Start:       distEntryStart,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(os.Stderr, "dist-test worker: "+format+"\n", a...)
+		},
 	})
 }
 

@@ -1,0 +1,490 @@
+// Package chaos is deterministic fault injection for the distributed
+// sweep fabric's control plane: a seeded net.Conn / net.Listener
+// wrapper that both sides of the fabric can run through, injecting the
+// pathologies real coordinator↔worker links exhibit — connect refusal,
+// abrupt reset, connection stall, one-way (asymmetric) partition and
+// byte-trickle slow drain — with an optional scheduled heal after which
+// new connections are clean.
+//
+// The design mirrors netem.Adversity: the zero-value Config disables
+// everything and is guaranteed pass-through (no RNG stream is created
+// and no draw is made), Config validates itself loudly, and all
+// randomness comes from one sim.Rand seeded explicitly, so a chaos
+// schedule is reproducible from its seed alone. Each accepted or dialed
+// connection draws an independent fate from a stream forked per
+// connection index, so the fate sequence does not depend on byte-level
+// timing.
+//
+// chaos faults the *transport between* processes, netem.Adversity
+// faults the *simulated network inside* one process; together they
+// cover both planes the paper's "safely" claim lives on.
+package chaos
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"halfback/internal/sim"
+)
+
+// Config is the fault schedule for one Injector. The zero value
+// disables everything: wrapped connections behave byte-for-byte like
+// bare ones and no RNG is consulted.
+type Config struct {
+	// RefuseProb refuses a connection attempt outright with this
+	// probability: Dial fails immediately, Accept closes the connection
+	// before a byte moves.
+	RefuseProb float64
+
+	// ResetProb gives a connection, with this probability, an abrupt
+	// reset after ResetAfter total bytes (reads + writes): both sides
+	// see the underlying connection closed mid-stream.
+	ResetProb float64
+	// ResetAfter is the byte threshold for a reset fate (default 2048).
+	ResetAfter int64
+
+	// StallProb gives a connection, with this probability, a one-shot
+	// stall: after StallAfter total bytes, the next I/O blocks for
+	// StallFor (or until heal) before proceeding. The stream survives —
+	// this is the "slow but alive" failure mode deadlines exist for.
+	StallProb float64
+	// StallAfter is the byte threshold for a stall fate (default 2048).
+	StallAfter int64
+	// StallFor is how long a stalled connection blocks (default 50ms).
+	StallFor time.Duration
+
+	// PartitionInProb / PartitionOutProb give a connection a one-way
+	// partition after PartitionAfter total bytes. Inbound: reads block
+	// until heal (the peer's bytes sit in kernel buffers, so the stream
+	// survives a heal). Outbound: writes report success but the bytes
+	// vanish — the stream is silently broken and only a redial recovers
+	// it. Asymmetric partitions are the nastiest control-plane failure:
+	// each side believes the other is gone while its own sends "work".
+	PartitionInProb  float64
+	PartitionOutProb float64
+	// PartitionAfter is the byte threshold for partition fates
+	// (default 2048).
+	PartitionAfter int64
+
+	// TrickleProb gives a connection, with this probability, a
+	// byte-trickle drain: I/O proceeds at most TrickleBytes per
+	// TrickleEvery — fast enough to keep TCP alive, slow enough to
+	// wedge anything without a deadline.
+	TrickleProb float64
+	// TrickleEvery is the trickle pause interval (default 2ms).
+	TrickleEvery time.Duration
+	// TrickleBytes is the per-interval byte budget (default 64).
+	TrickleBytes int
+
+	// HealAt, when non-zero, heals the schedule that long after New:
+	// blocked partitions and stalls unblock, and connections dialed or
+	// accepted after the heal draw no fate at all (clean links). It
+	// models a transient network event with a bounded blast radius —
+	// the window the reconnect budget must out-wait.
+	HealAt time.Duration
+}
+
+// Enabled reports whether any fault knob is non-zero.
+func (c Config) Enabled() bool {
+	return c.RefuseProb > 0 || c.ResetProb > 0 || c.StallProb > 0 ||
+		c.PartitionInProb > 0 || c.PartitionOutProb > 0 || c.TrickleProb > 0
+}
+
+// validate panics on configurations that would silently misbehave.
+func (c Config) validate() {
+	bad := func(name string, p float64) {
+		if p < 0 || p > 1 {
+			panic(fmt.Sprintf("chaos: %s=%g outside [0,1]", name, p))
+		}
+	}
+	bad("RefuseProb", c.RefuseProb)
+	bad("ResetProb", c.ResetProb)
+	bad("StallProb", c.StallProb)
+	bad("PartitionInProb", c.PartitionInProb)
+	bad("PartitionOutProb", c.PartitionOutProb)
+	bad("TrickleProb", c.TrickleProb)
+	if c.ResetAfter < 0 || c.StallAfter < 0 || c.PartitionAfter < 0 {
+		panic("chaos: negative byte threshold")
+	}
+	if c.StallFor < 0 || c.TrickleEvery < 0 || c.HealAt < 0 {
+		panic("chaos: negative duration")
+	}
+	if c.TrickleBytes < 0 {
+		panic("chaos: negative TrickleBytes")
+	}
+}
+
+func (c Config) withDefaults() Config {
+	if c.ResetAfter == 0 {
+		c.ResetAfter = 2048
+	}
+	if c.StallAfter == 0 {
+		c.StallAfter = 2048
+	}
+	if c.PartitionAfter == 0 {
+		c.PartitionAfter = 2048
+	}
+	if c.StallFor == 0 {
+		c.StallFor = 50 * time.Millisecond
+	}
+	if c.TrickleEvery == 0 {
+		c.TrickleEvery = 2 * time.Millisecond
+	}
+	if c.TrickleBytes == 0 {
+		c.TrickleBytes = 64
+	}
+	return c
+}
+
+// Preset returns a named Config, for CLI/test convenience. Names:
+// none, refusals, resets, stalls, partitions, trickle, torture.
+func Preset(name string) (Config, error) {
+	switch name {
+	case "none":
+		return Config{}, nil
+	case "refusals":
+		return Config{RefuseProb: 0.5, HealAt: 200 * time.Millisecond}, nil
+	case "resets":
+		return Config{ResetProb: 0.7, ResetAfter: 1024, HealAt: 200 * time.Millisecond}, nil
+	case "stalls":
+		return Config{StallProb: 0.8, StallFor: 80 * time.Millisecond, HealAt: 250 * time.Millisecond}, nil
+	case "partitions":
+		return Config{PartitionInProb: 0.5, PartitionOutProb: 0.5, HealAt: 250 * time.Millisecond}, nil
+	case "trickle":
+		return Config{TrickleProb: 0.8, HealAt: 250 * time.Millisecond}, nil
+	case "torture":
+		return Config{
+			RefuseProb: 0.3, ResetProb: 0.4, StallProb: 0.4,
+			PartitionInProb: 0.3, PartitionOutProb: 0.3, TrickleProb: 0.4,
+			HealAt: 250 * time.Millisecond,
+		}, nil
+	}
+	return Config{}, fmt.Errorf("chaos: unknown preset %q", name)
+}
+
+// FromSeed derives a random mixed fault schedule from a seed — the
+// chaos-suite generator. Every schedule enables at least one fault kind
+// and always heals (HealAt in [80ms, 280ms)), and RefuseProb stays ≤
+// 0.5, so a coordinator with a modest redial budget always converges:
+// the suite asserts *identical results under faults*, not liveness
+// under a permanently dark network.
+func FromSeed(seed uint64) Config {
+	rng := sim.NewRand(seed).ForkNamed("chaos-schedule")
+	var c Config
+	pick := func(p float64) bool { return rng.Bool(p) }
+	if pick(0.4) {
+		c.RefuseProb = 0.1 + 0.4*rng.Float64() // ≤ 0.5 by construction
+	}
+	if pick(0.4) {
+		c.ResetProb = 0.2 + 0.7*rng.Float64()
+		c.ResetAfter = int64(256 + rng.Intn(8192))
+	}
+	if pick(0.4) {
+		c.StallProb = 0.2 + 0.6*rng.Float64()
+		c.StallAfter = int64(128 + rng.Intn(4096))
+		c.StallFor = time.Duration(20+rng.Intn(100)) * time.Millisecond
+	}
+	if pick(0.35) {
+		c.PartitionInProb = 0.2 + 0.8*rng.Float64()
+		c.PartitionAfter = int64(rng.Intn(4096))
+	}
+	if pick(0.35) {
+		c.PartitionOutProb = 0.2 + 0.8*rng.Float64()
+		if c.PartitionAfter == 0 {
+			c.PartitionAfter = int64(rng.Intn(4096))
+		}
+	}
+	if pick(0.4) {
+		c.TrickleProb = 0.2 + 0.6*rng.Float64()
+		c.TrickleEvery = time.Duration(1+rng.Intn(3)) * time.Millisecond
+		c.TrickleBytes = 32 + rng.Intn(96)
+	}
+	if !c.Enabled() {
+		c.ResetProb = 0.5
+		c.ResetAfter = int64(512 + rng.Intn(2048))
+	}
+	c.HealAt = time.Duration(80+rng.Intn(200)) * time.Millisecond
+	return c
+}
+
+// fate is the faults one connection drew at creation.
+type fate struct {
+	refuse  bool
+	reset   bool
+	stall   bool
+	partIn  bool
+	partOut bool
+	trickle bool
+}
+
+// Injector owns one chaos schedule: a seeded RNG, the heal clock, and
+// the per-connection fate sequence. Wrap listeners with Listener and
+// dials with Dial/Dialer; both sides of a fabric may share one Injector
+// or run their own.
+type Injector struct {
+	cfg Config
+
+	mu      sync.Mutex
+	rng     *sim.Rand // nil when the config is disabled
+	connSeq int
+
+	heal     chan struct{}
+	healOnce sync.Once
+	timer    *time.Timer
+}
+
+// New builds an Injector for cfg, panicking on invalid configs. A
+// disabled (zero) cfg creates no RNG and wraps nothing — Listener and
+// Dial return their inputs' behaviour unchanged. The heal clock starts
+// now: HealAt is measured from this call.
+func New(seed uint64, cfg Config) *Injector {
+	cfg.validate()
+	inj := &Injector{cfg: cfg.withDefaults(), heal: make(chan struct{})}
+	if !cfg.Enabled() {
+		inj.healOnce.Do(func() { close(inj.heal) })
+		return inj
+	}
+	inj.rng = sim.NewRand(seed).ForkNamed("chaos")
+	if cfg.HealAt > 0 {
+		inj.timer = time.AfterFunc(cfg.HealAt, func() {
+			inj.healOnce.Do(func() { close(inj.heal) })
+		})
+	}
+	return inj
+}
+
+// Heal unblocks every stalled or partitioned connection and makes all
+// future connections clean, immediately. Idempotent; also triggered by
+// Config.HealAt.
+func (inj *Injector) Heal() {
+	inj.healOnce.Do(func() { close(inj.heal) })
+	if inj.timer != nil {
+		inj.timer.Stop()
+	}
+}
+
+// Healed reports whether the schedule has healed.
+func (inj *Injector) Healed() bool {
+	select {
+	case <-inj.heal:
+		return true
+	default:
+		return false
+	}
+}
+
+// drawFate rolls one connection's faults. After heal, connections are
+// clean and no draw is made (keeping the fate sequence a pure function
+// of the pre-heal connection count).
+func (inj *Injector) drawFate() fate {
+	if inj.rng == nil || inj.Healed() {
+		return fate{}
+	}
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	rng := inj.rng.ForkNamed("conn:" + strconv.Itoa(inj.connSeq))
+	inj.connSeq++
+	return fate{
+		refuse:  rng.Bool(inj.cfg.RefuseProb),
+		reset:   rng.Bool(inj.cfg.ResetProb),
+		stall:   rng.Bool(inj.cfg.StallProb),
+		partIn:  rng.Bool(inj.cfg.PartitionInProb),
+		partOut: rng.Bool(inj.cfg.PartitionOutProb),
+		trickle: rng.Bool(inj.cfg.TrickleProb),
+	}
+}
+
+// errRefused is what a refused dial reports.
+type errRefused struct{ addr string }
+
+func (e errRefused) Error() string { return "chaos: connection to " + e.addr + " refused" }
+
+// Dial dials through the schedule: a refusal fate fails immediately
+// (nothing is dialed); any other fate wraps the connection.
+func (inj *Injector) Dial(network, addr string) (net.Conn, error) {
+	f := inj.drawFate()
+	if f.refuse {
+		return nil, errRefused{addr}
+	}
+	conn, err := net.Dial(network, addr)
+	if err != nil {
+		return nil, err
+	}
+	return inj.wrap(conn, f), nil
+}
+
+// Dialer adapts Dial to the single-argument shape the coordinator's
+// Options.Dial wants.
+func (inj *Injector) Dialer() func(addr string) (net.Conn, error) {
+	return func(addr string) (net.Conn, error) { return inj.Dial("tcp", addr) }
+}
+
+// Listener wraps lis so every accepted connection runs through the
+// schedule. A refusal fate closes the connection before a byte moves
+// (the dialer sees an immediate EOF/reset).
+func (inj *Injector) Listener(lis net.Listener) net.Listener {
+	if inj.rng == nil {
+		return lis
+	}
+	return &faultListener{Listener: lis, inj: inj}
+}
+
+type faultListener struct {
+	net.Listener
+	inj *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	for {
+		conn, err := l.Listener.Accept()
+		if err != nil {
+			return nil, err
+		}
+		f := l.inj.drawFate()
+		if f.refuse {
+			conn.Close()
+			continue
+		}
+		return l.inj.wrap(conn, f), nil
+	}
+}
+
+func (inj *Injector) wrap(conn net.Conn, f fate) net.Conn {
+	if inj.rng == nil || f == (fate{}) {
+		return conn
+	}
+	fc := &faultConn{Conn: conn, inj: inj, f: f, closed: make(chan struct{})}
+	return fc
+}
+
+// faultConn applies one connection's fate to its byte stream. The byte
+// counter totals both directions, so thresholds fire at the same point
+// regardless of which side wraps.
+type faultConn struct {
+	net.Conn
+	inj *Injector
+	f   fate
+
+	total     atomic.Int64
+	stallOnce sync.Once
+
+	closeOnce sync.Once
+	closed    chan struct{}
+}
+
+// errReset is the injected mid-stream reset.
+type errReset struct{}
+
+func (errReset) Error() string { return "chaos: connection reset" }
+
+// pause blocks for d, or until the schedule heals or the connection is
+// closed — the primitive behind stalls and trickle. It deliberately
+// ignores I/O deadlines: a real frozen path does too, which is why the
+// fabric's timeouts must recover by *closing* the connection.
+func (c *faultConn) pause(d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-c.inj.heal:
+	case <-c.closed:
+	}
+}
+
+// blockUntilHeal parks until the schedule heals or the connection is
+// closed; reports whether it was a close.
+func (c *faultConn) blockUntilHeal() bool {
+	select {
+	case <-c.inj.heal:
+		return false
+	case <-c.closed:
+		return true
+	}
+}
+
+// gate applies the pre-I/O fates: reset (terminal), one-shot stall,
+// and — for the given direction — a partition. It returns a non-nil
+// error when the I/O must not proceed.
+func (c *faultConn) gate(inbound bool) error {
+	total := c.total.Load()
+	if c.f.reset && total >= c.inj.cfg.ResetAfter {
+		c.Close()
+		return errReset{}
+	}
+	if c.f.stall && total >= c.inj.cfg.StallAfter {
+		c.stallOnce.Do(func() { c.pause(c.inj.cfg.StallFor) })
+	}
+	if inbound && c.f.partIn && total >= c.inj.cfg.PartitionAfter && !c.inj.Healed() {
+		// Inbound partition: the peer's bytes queue in kernel buffers,
+		// so blocking here and resuming after heal keeps the stream
+		// intact — the transparent-recovery case.
+		if c.blockUntilHeal() {
+			return net.ErrClosed
+		}
+	}
+	return nil
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if err := c.gate(true); err != nil {
+		return 0, err
+	}
+	if c.f.trickle && !c.inj.Healed() && len(p) > c.inj.cfg.TrickleBytes {
+		p = p[:c.inj.cfg.TrickleBytes]
+		defer c.pause(c.inj.cfg.TrickleEvery)
+	}
+	n, err := c.Conn.Read(p)
+	c.total.Add(int64(n))
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	if err := c.gate(false); err != nil {
+		return 0, err
+	}
+	if c.f.partOut && c.total.Load() >= c.inj.cfg.PartitionAfter && !c.inj.Healed() {
+		// Outbound partition: the write "succeeds" but the bytes are
+		// gone. The stream is now silently broken — exactly the failure
+		// a reply deadline plus redial must recover from.
+		c.total.Add(int64(len(p)))
+		return len(p), nil
+	}
+	if c.f.trickle && !c.inj.Healed() {
+		wrote := 0
+		for len(p) > 0 {
+			chunk := p
+			if len(chunk) > c.inj.cfg.TrickleBytes {
+				chunk = chunk[:c.inj.cfg.TrickleBytes]
+			}
+			n, err := c.Conn.Write(chunk)
+			wrote += n
+			c.total.Add(int64(n))
+			if err != nil {
+				return wrote, err
+			}
+			p = p[n:]
+			if len(p) > 0 {
+				c.pause(c.inj.cfg.TrickleEvery)
+			}
+			if c.inj.Healed() {
+				n, err := c.Conn.Write(p)
+				wrote += n
+				c.total.Add(int64(n))
+				return wrote, err
+			}
+		}
+		return wrote, nil
+	}
+	n, err := c.Conn.Write(p)
+	c.total.Add(int64(n))
+	return n, err
+}
+
+func (c *faultConn) Close() error {
+	c.closeOnce.Do(func() { close(c.closed) })
+	return c.Conn.Close()
+}

@@ -1,0 +1,312 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections on lis (possibly injector-wrapped) and
+// echoes every byte back until the listener closes.
+func echoServer(t *testing.T, lis net.Listener) {
+	t.Helper()
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				io.Copy(conn, conn)
+			}(conn)
+		}
+	}()
+}
+
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lis.Close() })
+	return lis
+}
+
+// A disabled config is pass-through: the listener is returned
+// unwrapped, no RNG exists, and bytes move unchanged.
+func TestDisabledConfigIsPassThrough(t *testing.T) {
+	inj := New(1, Config{})
+	lis := listen(t)
+	if got := inj.Listener(lis); got != lis {
+		t.Fatal("disabled injector wrapped the listener")
+	}
+	if !inj.Healed() {
+		t.Fatal("disabled injector should report healed (nothing to heal)")
+	}
+	echoServer(t, lis)
+	conn, err := inj.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("pass-through bytes")
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+}
+
+// RefuseProb=1 refuses every dial before a socket exists, and every
+// accept before a byte moves; after heal, connections are clean.
+func TestRefusalAndHeal(t *testing.T) {
+	dialInj := New(2, Config{RefuseProb: 1})
+	if _, err := dialInj.Dial("tcp", "127.0.0.1:1"); err == nil {
+		t.Fatal("refusal fate dialed anyway")
+	}
+	dialInj.Heal()
+	lis := listen(t)
+	echoServer(t, lis)
+	conn, err := dialInj.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatalf("post-heal dial: %v", err)
+	}
+	conn.Close()
+
+	// Listener side: a refused accept closes the connection; the dialer
+	// sees EOF on its first read.
+	lisInj := New(3, Config{RefuseProb: 1})
+	lis2 := listen(t)
+	echoServer(t, lisInj.Listener(lis2))
+	c2, err := net.Dial("tcp", lis2.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	c2.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := c2.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read from a refused connection succeeded")
+	}
+}
+
+// A reset fate kills the stream once the byte threshold is crossed.
+func TestResetAfterBytes(t *testing.T) {
+	inj := New(4, Config{ResetProb: 1, ResetAfter: 32})
+	lis := listen(t)
+	echoServer(t, lis)
+	conn, err := inj.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := make([]byte, 16)
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, msg); err != nil {
+		t.Fatal(err)
+	}
+	// 32 bytes have now moved; the next I/O must reset.
+	_, err = conn.Write(msg)
+	var reset errReset
+	if !errors.As(err, &reset) {
+		t.Fatalf("post-threshold write err = %v, want injected reset", err)
+	}
+}
+
+// A stall fate blocks one I/O for StallFor, then the stream proceeds.
+func TestStallDelaysOnce(t *testing.T) {
+	const stall = 80 * time.Millisecond
+	inj := New(5, Config{StallProb: 1, StallAfter: 1, StallFor: stall})
+	lis := listen(t)
+	echoServer(t, lis)
+	conn, err := inj.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("stall test")
+	start := time.Now()
+	if _, err := conn.Write(msg); err != nil { // first byte: below threshold
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil { // crosses threshold: stalls
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < stall/2 {
+		t.Fatalf("stalled I/O completed in %v, want ≈%v", elapsed, stall)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("echo = %q, want %q", got, msg)
+	}
+	// One-shot: a second round must not stall again for another StallFor.
+	start = time.Now()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > stall {
+		t.Fatalf("second round took %v — stall was not one-shot", elapsed)
+	}
+}
+
+// An inbound partition blocks reads until heal, then delivers the bytes
+// that queued in kernel buffers — the transparent-recovery case.
+func TestInboundPartitionHealsTransparently(t *testing.T) {
+	const heal = 120 * time.Millisecond
+	inj := New(6, Config{PartitionInProb: 1, PartitionAfter: 1, HealAt: heal})
+	lis := listen(t)
+	echoServer(t, lis)
+	conn, err := inj.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := []byte("partitioned")
+	start := time.Now()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < heal/2 {
+		t.Fatalf("read returned in %v, want blocked until ≈%v heal", elapsed, heal)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("post-heal echo = %q, want %q", got, msg)
+	}
+	if !inj.Healed() {
+		t.Fatal("injector not healed after HealAt")
+	}
+}
+
+// An outbound partition swallows writes: the writer sees success, the
+// peer sees nothing — the silently-broken stream a deadline must catch.
+func TestOutboundPartitionSwallowsWrites(t *testing.T) {
+	inj := New(7, Config{PartitionOutProb: 1, PartitionAfter: 1})
+	lis := listen(t)
+	got := make(chan int, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		total := 0
+		conn.SetReadDeadline(time.Now().Add(300 * time.Millisecond))
+		for {
+			n, err := conn.Read(make([]byte, 64))
+			total += n
+			if err != nil {
+				got <- total
+				return
+			}
+		}
+	}()
+	conn, err := inj.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if _, err := conn.Write([]byte("x")); err != nil { // below threshold: delivered
+		t.Fatal(err)
+	}
+	n, err := conn.Write([]byte("vanishes")) // past threshold: swallowed
+	if err != nil || n != 8 {
+		t.Fatalf("swallowed write = (%d, %v), want (8, nil)", n, err)
+	}
+	if n := <-got; n != 1 {
+		t.Fatalf("peer received %d bytes, want only the 1 pre-partition byte", n)
+	}
+}
+
+// Trickle slows the stream without breaking it: everything arrives.
+func TestTrickleSlowsButCompletes(t *testing.T) {
+	inj := New(8, Config{TrickleProb: 1, TrickleEvery: 5 * time.Millisecond, TrickleBytes: 16})
+	lis := listen(t)
+	echoServer(t, lis)
+	conn, err := inj.Dial("tcp", lis.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	msg := bytes.Repeat([]byte("x"), 128)
+	start := time.Now()
+	if _, err := conn.Write(msg); err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(conn, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatal("trickled bytes corrupted")
+	}
+	// 128 bytes at 16/5ms in each direction: well over 30ms if the
+	// trickle is real (generous bound for loaded CI).
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("trickled round-trip took only %v", elapsed)
+	}
+}
+
+// FromSeed is deterministic and always yields a convergable schedule:
+// at least one fault, a heal inside [80ms, 280ms), refusals ≤ 0.5.
+func TestFromSeedDeterministicAndBounded(t *testing.T) {
+	for seed := uint64(0); seed < 200; seed++ {
+		a, b := FromSeed(seed), FromSeed(seed)
+		if a != b {
+			t.Fatalf("seed %d: FromSeed not deterministic:\n%+v\n%+v", seed, a, b)
+		}
+		if !a.Enabled() {
+			t.Fatalf("seed %d: schedule enables no fault", seed)
+		}
+		if a.HealAt < 80*time.Millisecond || a.HealAt >= 280*time.Millisecond {
+			t.Fatalf("seed %d: HealAt=%v outside [80ms, 280ms)", seed, a.HealAt)
+		}
+		if a.RefuseProb > 0.5 {
+			t.Fatalf("seed %d: RefuseProb=%g > 0.5 — schedule may never converge", seed, a.RefuseProb)
+		}
+	}
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{"none", "refusals", "resets", "stalls", "partitions", "trickle", "torture"} {
+		cfg, err := Preset(name)
+		if err != nil {
+			t.Fatalf("Preset(%q): %v", name, err)
+		}
+		if name == "none" && cfg.Enabled() {
+			t.Fatal("preset none enables faults")
+		}
+		if name != "none" && !cfg.Enabled() {
+			t.Fatalf("preset %q enables nothing", name)
+		}
+	}
+	if _, err := Preset("nope"); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestValidatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New accepted RefuseProb=2")
+		}
+	}()
+	New(1, Config{RefuseProb: 2})
+}

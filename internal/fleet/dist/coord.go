@@ -3,9 +3,11 @@ package dist
 import (
 	"errors"
 	"fmt"
+	"net"
 	"net/rpc"
 	"os"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"halfback/internal/fleet"
@@ -18,18 +20,44 @@ type Options struct {
 	SlotsPerWorker int
 	// HeartbeatEvery is the Ping interval (default 1s).
 	HeartbeatEvery time.Duration
-	// HeartbeatMisses is how many consecutive unanswered Pings declare a
-	// worker dead (default 3).
+	// HeartbeatMisses is how many Ping intervals may pass without a
+	// reply before a worker is declared dead (default 3). The Ping
+	// itself rides the reconnect path, so a worker behind a healing
+	// partition survives the budget.
 	HeartbeatMisses int
-	// ConfigureTimeout bounds the initial Configure call per worker
-	// (default 30s) — a dialable but mute endpoint must not hang
-	// Connect.
+	// ConfigureTimeout bounds each Configure call (default 30s) — a
+	// dialable but mute endpoint must not hang Connect or a reconnect.
 	ConfigureTimeout time.Duration
+	// RunCellTimeout bounds each RunCell and EndSweep call (default
+	// 10m — cells legitimately run for minutes; the deadline exists so
+	// a *trickling connection* cannot wedge dispatch forever, not to
+	// police cell runtime). On expiry the connection is torn down and
+	// the reconnect path takes over; re-running a cell is safe because
+	// results are seed-determined and worker journals replay.
+	RunCellTimeout time.Duration
 	// SpeculateAfter, when positive, re-dispatches a cell to a second
 	// worker once its first lease is older than this — RepFlow-style
 	// cheap redundancy against stragglers. First result wins, which is
 	// deterministic because results are seed-determined. 0 disables.
 	SpeculateAfter time.Duration
+
+	// Key is the shared cluster secret. When set, every connection runs
+	// the HMAC challenge/response handshake before RPC; when empty,
+	// only loopback worker addresses are accepted.
+	Key []byte
+	// Dial, when non-nil, replaces the TCP dialer — the chaos-injection
+	// seam. The handshake and RPC run over whatever it returns.
+	Dial func(addr string) (net.Conn, error)
+	// DialTimeout bounds each dial and each handshake (default 10s).
+	DialTimeout time.Duration
+	// RedialAttempts is how many times a failed connection is redialed
+	// (with backoff) before the worker's cells are reassigned — the
+	// reconnect-before-reassign budget (default 4).
+	RedialAttempts int
+	// RedialBackoff is the base backoff between redials; it doubles per
+	// attempt, capped at 16x (default 200ms).
+	RedialBackoff time.Duration
+
 	// Logf, when non-nil, receives coordinator diagnostics.
 	Logf func(format string, args ...any)
 }
@@ -47,7 +75,26 @@ func (o Options) withDefaults() Options {
 	if o.ConfigureTimeout <= 0 {
 		o.ConfigureTimeout = 30 * time.Second
 	}
+	if o.RunCellTimeout <= 0 {
+		o.RunCellTimeout = 10 * time.Minute
+	}
+	if o.DialTimeout <= 0 {
+		o.DialTimeout = 10 * time.Second
+	}
+	if o.RedialAttempts <= 0 {
+		o.RedialAttempts = 4
+	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = 200 * time.Millisecond
+	}
 	return o
+}
+
+// redialPolicy is the backoff schedule between reconnect attempts —
+// fleet.Retry's pure doubling schedule, capped well below the
+// heartbeat death budget so redials never outlive their usefulness.
+func (o Options) redialPolicy() fleet.Retry {
+	return fleet.Retry{Backoff: o.RedialBackoff, MaxBackoff: 16 * o.RedialBackoff}
 }
 
 // ErrNoWorkers reports that every worker is dead. fleet treats any
@@ -56,19 +103,72 @@ func (o Options) withDefaults() Options {
 // serial run instead of a dead one.
 var ErrNoWorkers = errors.New("dist: no live workers")
 
+// errCoordClosed aborts in-flight calls when the coordinator shuts
+// down.
+var errCoordClosed = errors.New("dist: coordinator closed")
+
+// isServerError reports whether err is an application-level error the
+// worker itself returned (net/rpc's ServerError) — the connection
+// works; redialing cannot change the answer.
+func isServerError(err error) bool {
+	var se rpc.ServerError
+	return errors.As(err, &se)
+}
+
 // workerConn is the coordinator's view of one worker.
 type workerConn struct {
-	addr   string
-	client *rpc.Client
+	addr string
+
+	// connMu serializes reconnects and guards client/connGen swaps;
+	// connGen identifies one dialed connection so concurrent callers
+	// that hit the same transport failure redial once, not N times.
+	connMu  sync.Mutex
+	client  *rpc.Client
+	connGen int
+
+	// fenced is the worker's latest fenced-RPC counter (stale
+	// generations it refused), sampled from Configure/Ping replies.
+	fenced atomic.Uint64
+
 	// guarded by the coordinator's mu:
 	dead  bool
 	inUse int // leased slots
+}
+
+// current snapshots the live client and its connection generation.
+func (wc *workerConn) current() (*rpc.Client, int) {
+	wc.connMu.Lock()
+	defer wc.connMu.Unlock()
+	return wc.client, wc.connGen
+}
+
+// Metrics is the coordinator's end-of-run fault diagnostics: how rough
+// the control plane was, and whether fencing had to do real work. A
+// clean run is all zeros.
+type Metrics struct {
+	// Redials counts connections re-established after a transport
+	// failure (reconnect-before-reassign successes).
+	Redials uint64
+	// Reassignments counts cell leases moved to another worker after
+	// the reconnect budget ran out.
+	Reassignments uint64
+	// Speculated counts speculative duplicate dispatches.
+	Speculated uint64
+	// FencedZombieAttempts sums, across workers, the RPCs refused from
+	// stale generations.
+	FencedZombieAttempts uint64
+}
+
+func (m Metrics) String() string {
+	return fmt.Sprintf("redials=%d reassignments=%d speculative-duplicates=%d fenced-zombie-attempts=%d",
+		m.Redials, m.Reassignments, m.Speculated, m.FencedZombieAttempts)
 }
 
 // Coordinator shards cells across a pool of workers; it implements
 // fleet.Dispatcher. One Coordinator serves one run (one generation).
 type Coordinator struct {
 	journal *fleet.Journal
+	meta    fleet.JournalMeta
 	opts    Options
 	gen     uint64
 
@@ -77,68 +177,260 @@ type Coordinator struct {
 	workers []*workerConn
 	closed  bool
 
+	redials    atomic.Uint64
+	reassigns  atomic.Uint64
+	speculated atomic.Uint64
+
 	stop chan struct{}
 	wg   sync.WaitGroup
 }
 
-// Connect dials the workers, configures each with the run's meta, and
-// merges every uploaded worker-journal snapshot into journal — the step
-// that makes a resumed coordinator whole again after a crash. At least
-// one worker must come up; unreachable ones are logged and skipped.
+// Connect dials the workers, runs the session handshake, configures
+// each with the run's meta, and merges every uploaded worker-journal
+// snapshot into journal — the step that makes a resumed coordinator
+// whole again after a crash. At least one worker must come up;
+// unreachable ones are logged and skipped (after the redial budget).
+// Without a cluster key, non-loopback worker addresses are refused
+// outright: the fabric never runs unauthenticated across a real
+// network.
 func Connect(addrs []string, journal *fleet.Journal, meta fleet.JournalMeta, opts Options) (*Coordinator, error) {
+	opts = opts.withDefaults()
+	if len(opts.Key) == 0 {
+		for _, addr := range addrs {
+			if !LoopbackAddr(addr) {
+				return nil, fmt.Errorf("dist: worker %s is not loopback and no cluster key is set — refusing to run unauthenticated across the network; set -cluster-key (or %s) on both sides", addr, KeyEnv)
+			}
+		}
+	}
 	c := &Coordinator{
 		journal: journal,
-		opts:    opts.withDefaults(),
+		meta:    meta,
+		opts:    opts,
 		// A fresh generation per coordinator incarnation: workers
 		// replace any session an earlier (crashed) coordinator left.
+		// Monotone in wall time, so generations order incarnations and
+		// Gen doubles as the fencing token.
 		gen:  uint64(time.Now().UnixNano())<<8 | uint64(os.Getpid())&0xff,
 		stop: make(chan struct{}),
 	}
 	c.cond = sync.NewCond(&c.mu)
 
-	cfg := &ConfigureArgs{Gen: c.gen, Proto: ProtoVersion, Meta: meta}
+	var lastErr error
 	for _, addr := range addrs {
-		client, err := rpc.Dial("tcp", addr)
+		wc, err := c.establish(addr)
 		if err != nil {
-			c.logf("dist: worker %s unreachable: %v", addr, err)
+			c.logf("dist: worker %s unavailable: %v", addr, err)
+			lastErr = err
 			continue
 		}
-		var reply ConfigureReply
-		call := client.Go("Worker.Configure", cfg, &reply, make(chan *rpc.Call, 1))
-		var cerr error
-		select {
-		case done := <-call.Done:
-			cerr = done.Error
-		case <-time.After(c.opts.ConfigureTimeout):
-			cerr = fmt.Errorf("no configure reply within %v", c.opts.ConfigureTimeout)
-		}
-		if cerr != nil {
-			c.logf("dist: worker %s rejected configure: %v", addr, cerr)
-			client.Close()
-			continue
-		}
-		if journal != nil && len(reply.Records) > 0 {
-			st, err := journal.Merge(reply.Records)
-			if err != nil {
-				client.Close()
-				c.Close()
-				return nil, fmt.Errorf("dist: merging %s's journal upload: %w", addr, err)
-			}
-			if st.Applied+st.Superseded > 0 {
-				c.logf("dist: merged %d cells from %s (%d recovered failures, %d already known)",
-					st.Applied+st.Superseded, addr, st.Superseded, st.Skipped)
-			}
-		}
-		c.workers = append(c.workers, &workerConn{addr: addr, client: client})
+		c.workers = append(c.workers, wc)
 	}
 	if len(c.workers) == 0 {
-		return nil, fmt.Errorf("dist: none of %d workers reachable", len(addrs))
+		return nil, fmt.Errorf("dist: none of %d workers reachable (last error: %w)", len(addrs), lastErr)
 	}
 	for _, wc := range c.workers {
 		c.wg.Add(1)
 		go c.heartbeat(wc)
 	}
 	return c, nil
+}
+
+// establish makes the initial connection to one worker, spending the
+// redial budget before giving up — chaos-grade networks may refuse the
+// first few attempts. Permanent failures (bad key, protocol mismatch)
+// abort immediately.
+func (c *Coordinator) establish(addr string) (*workerConn, error) {
+	policy := c.opts.redialPolicy()
+	var lastErr error
+	for attempt := 0; attempt <= c.opts.RedialAttempts; attempt++ {
+		if attempt > 0 {
+			if !c.sleep(policy.BackoffAt(attempt)) {
+				return nil, errCoordClosed
+			}
+		}
+		client, fenced, err := c.dialAndConfigure(addr)
+		if err != nil {
+			lastErr = err
+			if isPermanent(err) {
+				return nil, err
+			}
+			continue
+		}
+		wc := &workerConn{addr: addr, client: client, connGen: 1}
+		wc.fenced.Store(fenced)
+		return wc, nil
+	}
+	return nil, lastErr
+}
+
+// sleep waits d, aborting early on Close; reports whether it slept the
+// full duration.
+func (c *Coordinator) sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-c.stop:
+		return false
+	}
+}
+
+// dialAndConfigure runs the full session-establishment ladder against
+// one worker: dial, handshake (version + mutual auth), Configure under
+// this coordinator's generation, and merge the journal upload. Any
+// rung failing tears the connection down and reports why; permanent
+// errors mark failures redialing cannot fix.
+func (c *Coordinator) dialAndConfigure(addr string) (*rpc.Client, uint64, error) {
+	conn, err := c.dial(addr)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := handshakeTimed(conn, c.opts.DialTimeout, func(conn net.Conn) error {
+		return clientHandshake(conn, c.opts.Key)
+	}); err != nil {
+		conn.Close()
+		return nil, 0, err
+	}
+	client := rpc.NewClient(conn)
+	args := &ConfigureArgs{Gen: c.gen, Proto: ProtoVersion, Meta: c.meta}
+	var reply ConfigureReply
+	if err := c.timedCall(addr, client, "Worker.Configure", args, &reply, c.opts.ConfigureTimeout); err != nil {
+		client.Close()
+		if isServerError(err) {
+			// The worker itself refused (draining, fenced, journal
+			// trouble): asking again over a fresh connection cannot
+			// change its mind.
+			return nil, 0, permanent(err)
+		}
+		return nil, 0, err
+	}
+	if err := c.mergeUpload(addr, reply.Records); err != nil {
+		client.Close()
+		return nil, 0, permanent(err)
+	}
+	return client, reply.Fenced, nil
+}
+
+func (c *Coordinator) dial(addr string) (net.Conn, error) {
+	if c.opts.Dial != nil {
+		return c.opts.Dial(addr)
+	}
+	return net.DialTimeout("tcp", addr, c.opts.DialTimeout)
+}
+
+// mergeUpload folds a worker's journal snapshot into the canonical
+// journal. Safe to repeat — Merge is idempotent — which is what makes
+// re-Configure on reconnect harmless.
+func (c *Coordinator) mergeUpload(addr string, recs []fleet.JournalRecord) error {
+	if c.journal == nil || len(recs) == 0 {
+		return nil
+	}
+	st, err := c.journal.Merge(recs)
+	if err != nil {
+		return fmt.Errorf("dist: merging %s's journal upload: %w", addr, err)
+	}
+	if st.Applied+st.Superseded > 0 {
+		c.logf("dist: merged %d cells from %s (%d recovered failures, %d already known)",
+			st.Applied+st.Superseded, addr, st.Superseded, st.Skipped)
+	}
+	return nil
+}
+
+// timedCall issues one RPC with a hard deadline. On expiry the client
+// is closed — the only reliable unwedge for a connection that is alive
+// but trickling — which fails this and every other in-flight call on
+// it; the reconnect path takes over from there.
+func (c *Coordinator) timedCall(addr string, client *rpc.Client, method string, args, reply any, timeout time.Duration) error {
+	call := client.Go(method, args, reply, make(chan *rpc.Call, 1))
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case done := <-call.Done:
+		return done.Error
+	case <-t.C:
+		client.Close()
+		<-call.Done
+		return fmt.Errorf("dist: no %s reply from %s within %v", method, addr, timeout)
+	case <-c.stop:
+		return errCoordClosed
+	}
+}
+
+// maxReconnectCycles bounds how many full redial budgets one RPC may
+// spend before its caller reassigns — reconnect-before-reassign, but
+// not reconnect-forever.
+const maxReconnectCycles = 2
+
+// callWorker is the fabric's one RPC path: a timed call that, on
+// transport failure, redials the worker with bounded backoff and
+// re-Configures idempotently under the same generation before trying
+// again. Only when the budget is spent does the error escape — at
+// which point the caller treats the worker as dead. Application-level
+// errors (the worker answered "no") pass straight through.
+func (c *Coordinator) callWorker(wc *workerConn, method string, args, reply any, timeout time.Duration) error {
+	for cycle := 0; ; cycle++ {
+		client, connGen := wc.current()
+		if client == nil {
+			return fmt.Errorf("dist: %s disconnected", wc.addr)
+		}
+		err := c.timedCall(wc.addr, client, method, args, reply, timeout)
+		if err == nil || isServerError(err) || errors.Is(err, errCoordClosed) {
+			return err
+		}
+		if cycle >= maxReconnectCycles {
+			return err
+		}
+		if rerr := c.reconnect(wc, connGen); rerr != nil {
+			if isPermanent(rerr) || errors.Is(rerr, errCoordClosed) {
+				return rerr
+			}
+			return fmt.Errorf("%w (reconnect: %v)", err, rerr)
+		}
+	}
+}
+
+// reconnect re-establishes wc's connection: single-flight (concurrent
+// callers that saw the same failed connGen ride one redial), bounded
+// backoff between attempts, and an idempotent same-Gen Configure so
+// the worker session survives untouched — its in-flight cells keep
+// running and its journal snapshot re-merges harmlessly.
+func (c *Coordinator) reconnect(wc *workerConn, failedGen int) error {
+	wc.connMu.Lock()
+	defer wc.connMu.Unlock()
+	if wc.connGen != failedGen {
+		return nil // another caller already reconnected
+	}
+	if wc.client != nil {
+		wc.client.Close()
+	}
+	policy := c.opts.redialPolicy()
+	var lastErr error
+	for attempt := 1; attempt <= c.opts.RedialAttempts; attempt++ {
+		// Back off before each try: the common cause is a partition or
+		// stall that needs wall time to heal.
+		if !c.sleep(policy.BackoffAt(attempt)) {
+			return errCoordClosed
+		}
+		client, fenced, err := c.dialAndConfigure(wc.addr)
+		if err != nil {
+			lastErr = err
+			if isPermanent(err) {
+				return err
+			}
+			continue
+		}
+		wc.client = client
+		wc.connGen++
+		wc.fenced.Store(fenced)
+		c.redials.Add(1)
+		c.logf("dist: reconnected to %s (attempt %d)", wc.addr, attempt)
+		return nil
+	}
+	return lastErr
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -172,8 +464,24 @@ func (c *Coordinator) liveLocked() int {
 	return n
 }
 
+// Metrics snapshots the run's fault counters.
+func (c *Coordinator) Metrics() Metrics {
+	m := Metrics{
+		Redials:       c.redials.Load(),
+		Reassignments: c.reassigns.Load(),
+		Speculated:    c.speculated.Load(),
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, wc := range c.workers {
+		m.FencedZombieAttempts += wc.fenced.Load()
+	}
+	return m
+}
+
 // markDead declares a worker unusable and closes its client, which
-// fails every in-flight call on it — the lease-revocation path.
+// fails every in-flight call on it — the lease-revocation path. Only
+// reached after the reconnect budget is spent.
 func (c *Coordinator) markDead(wc *workerConn, cause error) {
 	c.mu.Lock()
 	if wc.dead {
@@ -184,45 +492,48 @@ func (c *Coordinator) markDead(wc *workerConn, cause error) {
 	c.cond.Broadcast()
 	c.mu.Unlock()
 	c.logf("dist: worker %s dead (%v) — reassigning its cells", wc.addr, cause)
-	wc.client.Close()
+	client, _ := wc.current()
+	if client != nil {
+		client.Close()
+	}
 }
 
-// heartbeat pings one worker until the coordinator closes; enough
-// consecutive misses (no reply within the interval) kill the worker.
+func (c *Coordinator) isDead(wc *workerConn) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return wc.dead
+}
+
+// heartbeat pings one worker until the coordinator closes. The Ping
+// rides callWorker, so a transport wobble triggers reconnection rather
+// than an instant death sentence; a worker is declared dead only when
+// the full miss budget (interval × misses, including redials) yields
+// no answer — or when the worker itself reports this generation stale,
+// the "we are the zombie" signal.
 func (c *Coordinator) heartbeat(wc *workerConn) {
 	defer c.wg.Done()
 	ticker := time.NewTicker(c.opts.HeartbeatEvery)
 	defer ticker.Stop()
-	misses := 0
+	budget := c.opts.HeartbeatEvery * time.Duration(c.opts.HeartbeatMisses)
 	for {
 		select {
 		case <-c.stop:
 			return
 		case <-ticker.C:
 		}
-		c.mu.Lock()
-		dead := wc.dead
-		c.mu.Unlock()
-		if dead {
+		if c.isDead(wc) {
 			return
 		}
-		call := wc.client.Go("Worker.Ping", &PingArgs{Gen: c.gen}, &PingReply{}, make(chan *rpc.Call, 1))
-		select {
-		case done := <-call.Done:
-			if done.Error != nil {
-				c.markDead(wc, fmt.Errorf("ping failed: %w", done.Error))
-				return
-			}
-			misses = 0
-		case <-time.After(c.opts.HeartbeatEvery):
-			misses++
-			if misses >= c.opts.HeartbeatMisses {
-				c.markDead(wc, fmt.Errorf("%d heartbeats unanswered", misses))
-				return
-			}
-		case <-c.stop:
+		var reply PingReply
+		err := c.callWorker(wc, "Worker.Ping", &PingArgs{Gen: c.gen}, &reply, budget)
+		if errors.Is(err, errCoordClosed) {
 			return
 		}
+		if err != nil {
+			c.markDead(wc, fmt.Errorf("heartbeat: %w", err))
+			return
+		}
+		wc.fenced.Store(reply.Fenced)
 	}
 }
 
@@ -287,10 +598,10 @@ func (c *Coordinator) release(wc *workerConn) {
 func (c *Coordinator) BeginSweep(sweep uint32, n int) {}
 
 // DispatchCell implements fleet.Dispatcher: lease a worker, push the
-// cell, and on worker death reassign to a survivor — with optional
-// speculative duplication after SpeculateAfter. Only when every worker
-// is gone does it report ErrNoWorkers, making fleet run the cell
-// locally.
+// cell, and on worker death (post-reconnect-budget) reassign to a
+// survivor — with optional speculative duplication after
+// SpeculateAfter. Only when every worker is gone does it report
+// ErrNoWorkers, making fleet run the cell locally.
 func (c *Coordinator) DispatchCell(sweep, cell uint32, label string) (*fleet.CellOutcome, error) {
 	args := &RunCellArgs{Gen: c.gen, Sweep: sweep, Cell: cell, Label: label}
 	var lastErr error
@@ -301,6 +612,9 @@ func (c *Coordinator) DispatchCell(sweep, cell uint32, label string) (*fleet.Cel
 				return nil, fmt.Errorf("%w (last worker error: %v)", ErrNoWorkers, lastErr)
 			}
 			return nil, ErrNoWorkers
+		}
+		if lastErr != nil {
+			c.reassigns.Add(1) // this lease replaces one that died
 		}
 		res, err := c.runCellOn(primary, args)
 		if err == nil {
@@ -323,7 +637,7 @@ func (c *Coordinator) runCellOn(primary *workerConn, args *RunCellArgs) (*fleet.
 	launch := func(wc *workerConn) {
 		go func() {
 			var r RunCellReply
-			err := wc.client.Call("Worker.RunCell", args, &r)
+			err := c.callWorker(wc, "Worker.RunCell", args, &r, c.opts.RunCellTimeout)
 			c.release(wc)
 			ch <- reply{&r, err, wc}
 		}()
@@ -343,14 +657,16 @@ func (c *Coordinator) runCellOn(primary *workerConn, args *RunCellArgs) (*fleet.
 			if r.err == nil {
 				return &r.res.Outcome, nil
 			}
-			// The worker (or its session) failed mid-lease: revoke it and
-			// let the other attempt — if any — finish.
+			// The worker (or its session) failed beyond the reconnect
+			// budget: revoke it and let the other attempt — if any —
+			// finish.
 			c.markDead(r.wc, r.err)
 			lastErr = r.err
 		case <-spec:
 			spec = nil
 			if wc := c.tryAcquire(primary); wc != nil {
 				c.logf("dist: speculating sweep %d cell %d onto %s", args.Sweep, args.Cell, wc.addr)
+				c.speculated.Add(1)
 				launch(wc)
 				inFlight++
 			}
@@ -361,18 +677,35 @@ func (c *Coordinator) runCellOn(primary *workerConn, args *RunCellArgs) (*fleet.
 
 // SweepDone implements fleet.Dispatcher: every cell of the sweep has
 // merged into the canonical journal, so release the workers' ServeSweep
-// calls. Delivery is asynchronous and best-effort — a worker that
-// misses it is either dead (and gets torn down) or will be released by
-// the next coordinator incarnation's Configure.
+// calls. Delivery is asynchronous but rides the reconnect path: a
+// worker behind a transient partition still gets its EndSweep once the
+// link heals, instead of wedging in the finished sweep until
+// RegisterWait. A worker that stays unreachable is logged; the next
+// coordinator incarnation's Configure releases it.
 func (c *Coordinator) SweepDone(sweep uint32) {
 	args := &EndSweepArgs{Gen: c.gen, Sweep: sweep}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	var targets []*workerConn
 	for _, wc := range c.workers {
-		if wc.dead {
-			continue
+		if !wc.dead {
+			targets = append(targets, wc)
 		}
-		wc.client.Go("Worker.EndSweep", args, &Empty{}, make(chan *rpc.Call, 1))
+	}
+	c.wg.Add(len(targets))
+	c.mu.Unlock()
+	for _, wc := range targets {
+		go func(wc *workerConn) {
+			defer c.wg.Done()
+			var e Empty
+			err := c.callWorker(wc, "Worker.EndSweep", args, &e, c.opts.RunCellTimeout)
+			if err != nil && !errors.Is(err, errCoordClosed) {
+				c.logf("dist: EndSweep(%d) to %s undelivered: %v", sweep, wc.addr, err)
+			}
+		}(wc)
 	}
 }
 
@@ -383,13 +716,13 @@ func (c *Coordinator) ShutdownWorkers() {
 	workers := append([]*workerConn(nil), c.workers...)
 	c.mu.Unlock()
 	for _, wc := range workers {
-		c.mu.Lock()
-		dead := wc.dead
-		c.mu.Unlock()
-		if dead {
+		if c.isDead(wc) {
 			continue
 		}
-		wc.client.Call("Worker.Shutdown", &ShutdownArgs{}, &Empty{})
+		client, _ := wc.current()
+		if client != nil {
+			client.Call("Worker.Shutdown", &ShutdownArgs{}, &Empty{})
+		}
 	}
 }
 
@@ -408,6 +741,9 @@ func (c *Coordinator) Close() {
 	close(c.stop)
 	c.wg.Wait()
 	for _, wc := range c.workers {
-		wc.client.Close()
+		client, _ := wc.current()
+		if client != nil {
+			client.Close()
+		}
 	}
 }

@@ -100,12 +100,17 @@ func startWorker(t *testing.T, opts WorkerOptions) (*Worker, string) {
 	return w, lis.Addr().String()
 }
 
-// fastOpts are coordinator options tuned for test speed.
+// fastOpts are coordinator options tuned for test speed: a single
+// cheap redial attempt so dead-worker tests fail over in milliseconds
+// instead of walking the full production backoff ladder.
 func fastOpts(t *testing.T) Options {
 	return Options{
 		SlotsPerWorker:  2,
 		HeartbeatEvery:  50 * time.Millisecond,
 		HeartbeatMisses: 3,
+		RedialAttempts:  1,
+		RedialBackoff:   10 * time.Millisecond,
+		DialTimeout:     2 * time.Second,
 		Logf:            t.Logf,
 	}
 }
@@ -660,18 +665,31 @@ func appendTestCell(j *fleet.Journal, sweep, cell uint32, name string) error {
 // TestMain doubles as the forked worker binary: with -dist.worker the
 // process serves a fixed 2-sweep × 5-cell program instead of running
 // tests — the helper-process pattern for exercising real fork/exec.
+// -dist.slow switches to slow cells so signal-timing tests can land a
+// SIGTERM mid-cell; the cluster key, when the parent set one, arrives
+// via HALFBACK_CLUSTER_KEY (never argv).
 func TestMain(m *testing.M) {
 	for i, arg := range os.Args {
 		if arg == "-dist.worker" {
 			jpath := ""
-			for k := i + 1; k < len(os.Args)-1; k++ {
-				if os.Args[k] == "-dist.journal" {
+			prog := &testProgram{sweeps: 2, cells: 5}
+			for k := i + 1; k < len(os.Args); k++ {
+				if os.Args[k] == "-dist.journal" && k+1 < len(os.Args) {
 					jpath = os.Args[k+1]
 				}
+				if os.Args[k] == "-dist.slow" {
+					prog.delay = 200 * time.Millisecond
+				}
 			}
-			prog := &testProgram{sweeps: 2, cells: 5}
-			os.Exit(ServeWorker("127.0.0.1:0", jpath, prog.start, func(f string, a ...any) {
-				fmt.Fprintf(os.Stderr, f+"\n", a...)
+			os.Exit(ServeWorker(ServeConfig{
+				Addr:        "127.0.0.1:0",
+				JournalPath: jpath,
+				Key:         ResolveKey(""),
+				Start:       prog.start,
+				DrainLinger: 50 * time.Millisecond,
+				Logf: func(f string, a ...any) {
+					fmt.Fprintf(os.Stderr, f+"\n", a...)
+				},
 			}))
 		}
 	}

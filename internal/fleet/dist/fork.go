@@ -2,6 +2,7 @@ package dist
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -32,11 +33,14 @@ const forkStartTimeout = 30 * time.Second
 // Fork launches n worker processes of binary, each with argsFor(i) on
 // its command line (which must put the worker into -serve-worker mode
 // on a self-picked port), and waits for each to announce its address.
-func Fork(binary string, n int, argsFor func(i int) []string) (*Forked, error) {
+// extraEnv entries ("KEY=value") are appended to each child's
+// environment — the secret-passing channel: the cluster key travels
+// here, never on argv, so ps(1) cannot leak it.
+func Fork(binary string, n int, argsFor func(i int) []string, extraEnv ...string) (*Forked, error) {
 	f := &Forked{}
 	for i := 0; i < n; i++ {
 		cmd := exec.Command(binary, argsFor(i)...)
-		cmd.Env = append(os.Environ(), stdinExitEnv+"=1")
+		cmd.Env = append(append(os.Environ(), stdinExitEnv+"=1"), extraEnv...)
 		cmd.Stderr = os.Stderr
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
@@ -95,6 +99,26 @@ func awaitListenLine(stdout io.Reader) (string, error) {
 // Kill SIGKILLs worker i — the chaos-test path.
 func (f *Forked) Kill(i int) error {
 	return f.cmds[i].Process.Kill()
+}
+
+// Signal delivers sig to worker i — the graceful-drain test path
+// (SIGTERM starts a drain; see ServeWorker).
+func (f *Forked) Signal(i int, sig os.Signal) error {
+	return f.cmds[i].Process.Signal(sig)
+}
+
+// Wait blocks until worker i exits and returns its exit code — how
+// drain tests observe the exit-130-on-SIGTERM contract.
+func (f *Forked) Wait(i int) int {
+	err := f.cmds[i].Wait()
+	var ee *exec.ExitError
+	if errors.As(err, &ee) {
+		return ee.ExitCode()
+	}
+	if err != nil {
+		return -1
+	}
+	return 0
 }
 
 // Stop ends every worker: close stdin (the cooperative exit), give them

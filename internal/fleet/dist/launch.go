@@ -24,7 +24,14 @@ func LaunchCoordinator(journal *fleet.Journal, remoteAddrs string, forkN int, op
 		if err != nil {
 			return nil, nil, fmt.Errorf("dist: locate own binary: %w", err)
 		}
-		forked, err = Fork(exe, forkN, argsFor)
+		// Forked workers inherit the cluster key via the environment —
+		// never argv — so a keyed -distributed run authenticates its
+		// own children without the secret showing up in ps(1).
+		var extraEnv []string
+		if len(opts.Key) > 0 {
+			extraEnv = append(extraEnv, KeyEnv+"="+string(opts.Key))
+		}
+		forked, err = Fork(exe, forkN, argsFor, extraEnv...)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -31,8 +31,14 @@ package dist
 import "halfback/internal/fleet"
 
 // ProtoVersion guards against a coordinator and worker built from
-// different journal or wire formats talking past each other.
-const ProtoVersion = 1
+// different journal or wire formats talking past each other. It is
+// carried both in the pre-RPC handshake hello (where a mismatch fails
+// with an error naming both versions) and in ConfigureArgs (defense in
+// depth for a peer that somehow skipped the handshake).
+//
+// v2: authenticated session handshake before net/rpc, Fenced counters
+// in replies.
+const ProtoVersion = 2
 
 // ConfigureArgs establishes (or re-establishes) a worker session: the
 // worker tears down any previous session, starts the run Meta describes
@@ -51,6 +57,11 @@ type ConfigureArgs struct {
 // canonical journal.
 type ConfigureReply struct {
 	Records []fleet.JournalRecord
+	// Fenced counts RPCs this worker has refused from stale
+	// generations — zombie coordinators (or this coordinator's own
+	// earlier incarnation) fenced off by Gen. Diagnostics for the
+	// end-of-run metrics line.
+	Fenced uint64
 }
 
 // RunCellArgs asks the worker to produce one cell's outcome. The call
@@ -90,8 +101,12 @@ type PingArgs struct {
 // PingReply reports worker liveness (the RPC completing is the signal;
 // the fields are diagnostics).
 type PingReply struct {
-	// Running is true while the worker's program is still executing.
+	// Running is true while the worker's program is still executing
+	// and the worker is not draining (a draining worker finishes its
+	// in-flight cells but accepts no new ones).
 	Running bool
+	// Fenced mirrors ConfigureReply.Fenced.
+	Fenced uint64
 }
 
 // ShutdownArgs asks the worker process to exit cleanly.

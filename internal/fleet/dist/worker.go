@@ -39,6 +39,13 @@ type WorkerOptions struct {
 	// worker that blows this deadline has a hung or dead program, and
 	// the erroring call makes the coordinator reassign the cell.
 	RegisterWait time.Duration
+	// Key is the shared cluster secret; when set, every accepted
+	// connection must pass the HMAC handshake before RPC.
+	Key []byte
+	// DrainLinger is how long a drained worker lingers before exiting,
+	// so the coordinator's next Ping can observe Running=false instead
+	// of a vanished endpoint (default 300ms).
+	DrainLinger time.Duration
 	// Logf, when non-nil, receives worker diagnostics (stderr-style).
 	Logf func(format string, args ...any)
 }
@@ -50,6 +57,17 @@ func (o WorkerOptions) registerWait() time.Duration {
 	return o.RegisterWait
 }
 
+func (o WorkerOptions) drainLinger() time.Duration {
+	if o.DrainLinger <= 0 {
+		return 300 * time.Millisecond
+	}
+	return o.DrainLinger
+}
+
+// handshakeTimeout bounds the pre-RPC handshake on each accepted
+// connection — a garbage or stalled peer must not pin a goroutine.
+const handshakeTimeout = 10 * time.Second
+
 // Worker is one worker process's RPC state: at most one live session (a
 // generation + the running program) at a time.
 type Worker struct {
@@ -58,13 +76,57 @@ type Worker struct {
 	mu   sync.Mutex
 	sess *session
 
+	// fenced counts RPCs refused from stale generations — reported in
+	// Configure/Ping replies for the coordinator's metrics line.
+	fenced atomic.Uint64
+
+	// drainMu guards draining and inflight; drainCond wakes Drain when
+	// the last in-flight cell ends. (A WaitGroup cannot express this:
+	// Add racing Wait at counter zero is illegal, and RunCell arrivals
+	// are concurrent with Drain by design.)
+	drainMu   sync.Mutex
+	drainCond *sync.Cond
+	// draining is set by Drain: in-flight cells finish (and journal),
+	// new work is refused, Ping answers Running=false.
+	draining bool
+	inflight int
+
 	stopOnce sync.Once
 	done     chan struct{}
 }
 
 // NewWorker builds a worker. Serve must be called to accept sessions.
 func NewWorker(opts WorkerOptions) *Worker {
-	return &Worker{opts: opts, done: make(chan struct{})}
+	w := &Worker{opts: opts, done: make(chan struct{})}
+	w.drainCond = sync.NewCond(&w.drainMu)
+	return w
+}
+
+// beginCell admits one cell into the in-flight count, or refuses it if
+// the worker is draining.
+func (w *Worker) beginCell() bool {
+	w.drainMu.Lock()
+	defer w.drainMu.Unlock()
+	if w.draining {
+		return false
+	}
+	w.inflight++
+	return true
+}
+
+func (w *Worker) endCell() {
+	w.drainMu.Lock()
+	w.inflight--
+	if w.inflight == 0 {
+		w.drainCond.Broadcast()
+	}
+	w.drainMu.Unlock()
+}
+
+func (w *Worker) isDraining() bool {
+	w.drainMu.Lock()
+	defer w.drainMu.Unlock()
+	return w.draining
 }
 
 func (w *Worker) logf(format string, args ...any) {
@@ -77,8 +139,9 @@ func (w *Worker) logf(format string, args ...any) {
 // or stdin EOF under a forking parent).
 func (w *Worker) Done() <-chan struct{} { return w.done }
 
-// Stop tears the worker down: the live session is canceled and Serve
-// returns. Idempotent.
+// Stop tears the worker down immediately: the live session is canceled
+// and Serve returns. Idempotent. In-flight cells are abandoned — use
+// Drain for the graceful path.
 func (w *Worker) Stop() {
 	w.stopOnce.Do(func() {
 		close(w.done)
@@ -91,7 +154,34 @@ func (w *Worker) Stop() {
 	})
 }
 
-// Serve accepts coordinator connections on lis until Stop.
+// Drain is the graceful stop: refuse new cells, let in-flight ones
+// finish and journal, linger briefly so the coordinator's next Ping
+// observes Running=false, then Stop. Idempotent; returns when the
+// worker is down.
+func (w *Worker) Drain() {
+	w.drainMu.Lock()
+	if w.draining {
+		w.drainMu.Unlock()
+		<-w.done
+		return
+	}
+	w.draining = true
+	w.logf("dist worker: draining — finishing in-flight cells")
+	for w.inflight > 0 {
+		w.drainCond.Wait()
+	}
+	w.drainMu.Unlock()
+	select {
+	case <-w.done:
+	case <-time.After(w.opts.drainLinger()):
+	}
+	w.Stop()
+}
+
+// Serve accepts coordinator connections on lis until Stop. Every
+// connection must pass the session handshake (version check, and — when
+// the worker is keyed — mutual HMAC authentication) before a single
+// RPC byte is decoded.
 func (w *Worker) Serve(lis net.Listener) error {
 	srv := rpc.NewServer()
 	if err := srv.RegisterName("Worker", &workerAPI{w}); err != nil {
@@ -111,7 +201,16 @@ func (w *Worker) Serve(lis net.Listener) error {
 				return err
 			}
 		}
-		go srv.ServeConn(conn)
+		go func(conn net.Conn) {
+			if err := handshakeTimed(conn, handshakeTimeout, func(conn net.Conn) error {
+				return serverHandshake(conn, w.opts.Key)
+			}); err != nil {
+				w.logf("dist worker: handshake with %v failed: %v", conn.RemoteAddr(), err)
+				conn.Close()
+				return
+			}
+			srv.ServeConn(conn)
+		}(conn)
 	}
 }
 
@@ -225,16 +324,21 @@ func (s *session) finish(err error) {
 	close(s.exited)
 }
 
-// teardown cancels the session and waits for its program to exit.
+// teardown cancels the session and waits for its program to exit. The
+// journal closes FIRST: from that instant nothing this session does —
+// including in-flight cells that the cancellation itself unblocks —
+// can become durable, which is the fencing guarantee a replacement
+// Configure relies on. (Journal appends after Close fail and are
+// swallowed by the serve path's belt-and-braces append.)
 func (s *session) teardown() {
+	if s.journal != nil {
+		s.journal.Close()
+	}
 	s.cancel()
 	s.mu.Lock()
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-s.exited
-	if s.journal != nil {
-		s.journal.Close()
-	}
 }
 
 // workerAPI is the RPC surface; only these methods are exported to the
@@ -242,12 +346,18 @@ func (s *session) teardown() {
 type workerAPI struct{ w *Worker }
 
 // Configure establishes the session for args.Gen: idempotent for the
-// live generation, a full replace for a new one. The reply uploads the
-// worker journal's snapshot either way.
+// live generation, a full replace for a newer one — and a fencing
+// refusal for an older one, so a zombie coordinator incarnation can
+// never steal the worker back from its successor. The reply uploads
+// the worker journal's snapshot either way.
 func (a *workerAPI) Configure(args *ConfigureArgs, reply *ConfigureReply) error {
 	w := a.w
+	reply.Fenced = w.fenced.Load()
 	if args.Proto != ProtoVersion {
-		return fmt.Errorf("dist: protocol version mismatch: coordinator %d, worker %d", args.Proto, ProtoVersion)
+		return fmt.Errorf("dist: protocol version mismatch: the coordinator speaks v%d, this worker speaks v%d — one side is a stale build; rebuild both sides from the same source", args.Proto, ProtoVersion)
+	}
+	if w.isDraining() {
+		return errors.New("dist: worker draining — not accepting sessions")
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -263,6 +373,14 @@ func (a *workerAPI) Configure(args *ConfigureArgs, reply *ConfigureReply) error 
 			reply.Records = s.journal.SnapshotRecords()
 		}
 		return nil
+	}
+	if s := w.sess; s != nil && args.Gen < s.gen {
+		// Generations are minted from wall time, so a lower Gen is an
+		// older coordinator incarnation — a zombie. Fence it off: it
+		// may not replace the live session, and (via liveSession) none
+		// of its leases or journal uploads land either.
+		reply.Fenced = w.fenced.Add(1)
+		return fmt.Errorf("dist: fenced: coordinator generation %d superseded by %d", args.Gen, s.gen)
 	}
 	if s := w.sess; s != nil {
 		w.logf("dist worker: replacing session gen=%d with gen=%d", s.gen, args.Gen)
@@ -302,11 +420,14 @@ func (a *workerAPI) Configure(args *ConfigureArgs, reply *ConfigureReply) error 
 }
 
 // liveSession returns the session owning gen, or an error the
-// coordinator treats as this worker being unusable.
+// coordinator treats as this worker being unusable. A mismatch is a
+// fencing event: the caller's generation is not the one this worker
+// serves, so its request must not touch the live run.
 func (w *Worker) liveSession(gen uint64) (*session, error) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.sess == nil || w.sess.gen != gen {
+		w.fenced.Add(1)
 		return nil, fmt.Errorf("dist: stale generation %d", gen)
 	}
 	return w.sess, nil
@@ -314,13 +435,22 @@ func (w *Worker) liveSession(gen uint64) (*session, error) {
 
 // RunCell executes one cell through the sweep's registered runner with
 // the full local semantics (replay, retries, panic capture, worker-side
-// journaling) and replies its wire outcome.
+// journaling) and replies its wire outcome. Refused while draining; and
+// if the session was replaced while the cell ran (a zombie coordinator
+// losing a race with its successor), the result is withheld — the old
+// session's journal is already closed, so the record cannot land
+// anywhere.
 func (a *workerAPI) RunCell(args *RunCellArgs, reply *RunCellReply) error {
-	sess, err := a.w.liveSession(args.Gen)
+	w := a.w
+	if !w.beginCell() {
+		return errors.New("dist: worker draining — not accepting cells")
+	}
+	defer w.endCell()
+	sess, err := w.liveSession(args.Gen)
 	if err != nil {
 		return err
 	}
-	ss, err := sess.waitSweep(args.Sweep, a.w.opts.registerWait())
+	ss, err := sess.waitSweep(args.Sweep, w.opts.registerWait())
 	if err != nil {
 		return err
 	}
@@ -328,6 +458,9 @@ func (a *workerAPI) RunCell(args *RunCellArgs, reply *RunCellReply) error {
 		return fmt.Errorf("dist: cell %d out of range for sweep %d (n=%d)", args.Cell, args.Sweep, ss.n)
 	}
 	res := ss.run(args.Cell)
+	if _, err := w.liveSession(args.Gen); err != nil {
+		return fmt.Errorf("dist: fenced mid-cell: %w", err)
+	}
 	reply.Outcome = *res
 	return nil
 }
@@ -348,13 +481,16 @@ func (a *workerAPI) EndSweep(args *EndSweepArgs, _ *Empty) error {
 
 // Ping answers the heartbeat for a live generation.
 func (a *workerAPI) Ping(args *PingArgs, reply *PingReply) error {
-	sess, err := a.w.liveSession(args.Gen)
+	w := a.w
+	reply.Fenced = w.fenced.Load()
+	sess, err := w.liveSession(args.Gen)
 	if err != nil {
 		return err
 	}
 	sess.mu.Lock()
-	reply.Running = !sess.finished
+	running := !sess.finished
 	sess.mu.Unlock()
+	reply.Running = running && !w.isDraining()
 	return nil
 }
 
@@ -374,21 +510,54 @@ const listenLinePrefix = "DIST WORKER "
 // leak children past their coordinator.
 const stdinExitEnv = "HALFBACK_DIST_STDIN_EXIT"
 
-// ServeWorker is the `-serve-worker` entry point shared by the CLIs: it
-// binds addr (host:0 picks a port), announces the bound address on
-// stdout, and serves coordinator sessions until a Shutdown RPC, a
-// SIGINT/SIGTERM, or — for forked workers — stdin EOF. Returns the
-// process exit code.
-func ServeWorker(addr, journalPath string, start StartFunc, logf func(string, ...any)) int {
-	lis, err := net.Listen("tcp", addr)
+// ServeConfig parameterizes ServeWorker — the `-serve-worker` entry
+// point shared by the CLIs.
+type ServeConfig struct {
+	// Addr is the listen address; host:0 picks a port. Non-loopback
+	// binds require Key.
+	Addr string
+	// JournalPath is the worker's local journal (optional).
+	JournalPath string
+	// Key is the cluster secret (see WorkerOptions.Key). Required for
+	// non-loopback binds.
+	Key []byte
+	// Start runs the configured program (required).
+	Start StartFunc
+	// DrainLinger overrides the post-drain linger (tests).
+	DrainLinger time.Duration
+	// Logf receives worker diagnostics.
+	Logf func(format string, args ...any)
+}
+
+// ServeWorker binds cfg.Addr, announces the bound address on stdout,
+// and serves coordinator sessions until a Shutdown RPC, a signal, or —
+// for forked workers — stdin EOF. The first SIGINT/SIGTERM drains
+// gracefully (in-flight cells finish and journal, Ping turns
+// Running=false, then exit 130); a second signal force-quits. Returns
+// the process exit code: 0 clean, 130 interrupted, 2 usage/bind error.
+func ServeWorker(cfg ServeConfig) int {
+	logf := cfg.Logf
+	if len(cfg.Key) == 0 && !LoopbackAddr(cfg.Addr) {
+		if logf != nil {
+			logf("dist worker: refusing to bind %s without a cluster key — a non-loopback worker must authenticate its coordinator; set -cluster-key or %s (or bind 127.0.0.1)", cfg.Addr, KeyEnv)
+		}
+		return 2
+	}
+	lis, err := net.Listen("tcp", cfg.Addr)
 	if err != nil {
 		if logf != nil {
-			logf("dist worker: listen %s: %v", addr, err)
+			logf("dist worker: listen %s: %v", cfg.Addr, err)
 		}
 		return 2
 	}
 	fmt.Printf("%s%s\n", listenLinePrefix, lis.Addr())
-	w := NewWorker(WorkerOptions{JournalPath: journalPath, Start: start, Logf: logf})
+	w := NewWorker(WorkerOptions{
+		JournalPath: cfg.JournalPath,
+		Start:       cfg.Start,
+		Key:         cfg.Key,
+		DrainLinger: cfg.DrainLinger,
+		Logf:        logf,
+	})
 
 	var interrupted atomic.Bool
 	ch := make(chan os.Signal, 2)
@@ -396,7 +565,10 @@ func ServeWorker(addr, journalPath string, start StartFunc, logf func(string, ..
 	go func() {
 		<-ch
 		interrupted.Store(true)
-		w.Stop()
+		if logf != nil {
+			logf("dist worker: signal received — draining (in-flight cells will finish; signal again to force quit)")
+		}
+		go w.Drain()
 		<-ch
 		os.Exit(130)
 	}()

@@ -106,6 +106,35 @@ type JournalScan struct {
 	TailErr error
 }
 
+// Canonical reduces the scan to its replay-relevant content: the last
+// record per (sweep, cell) — the one replay would use — sorted by
+// address, with file offsets cleared. Two journals whose appends
+// happened in different physical orders (a fact of any concurrent or
+// chaos-perturbed run) have equal Canonical forms exactly when they
+// resume to the same state; it is the journal-identity relation the
+// chaos suite asserts.
+func (s *JournalScan) Canonical() []JournalRecord {
+	last := make(map[cellKey]JournalRecord, len(s.Records))
+	for _, rec := range s.Records {
+		if rec.Kind != recCell && rec.Kind != recFail {
+			continue
+		}
+		rec.Offset, rec.Len = 0, 0
+		last[cellKey{rec.Sweep, rec.Cell}] = rec
+	}
+	out := make([]JournalRecord, 0, len(last))
+	for _, rec := range last {
+		out = append(out, rec)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a].Sweep != out[b].Sweep {
+			return out[a].Sweep < out[b].Sweep
+		}
+		return out[a].Cell < out[b].Cell
+	})
+	return out
+}
+
 // ErrJournalCorrupt reports a journal whose header or meta record is
 // unusable — unlike a torn tail, there is nothing to resume from.
 var ErrJournalCorrupt = errors.New("fleet: journal corrupt")
