@@ -40,6 +40,7 @@ import (
 	"halfback/internal/fleet"
 	"halfback/internal/metrics"
 	"halfback/internal/netem"
+	"halfback/internal/ptest"
 	"halfback/internal/scheme"
 	"halfback/internal/sim"
 	"halfback/internal/transport"
@@ -60,6 +61,7 @@ type config struct {
 	seed        uint64
 	workers     int
 	adversity   string
+	misbehave   string
 	deadline    time.Duration
 	maxRetx     int
 	maxTimeouts int
@@ -91,6 +93,7 @@ func flagSet(cfg *config) *flag.FlagSet {
 	fs.Uint64Var(&cfg.seed, "seed", 1, "simulation seed")
 	fs.IntVar(&cfg.workers, "workers", runtime.NumCPU(), "cells to simulate concurrently; 1 forces the serial path")
 	fs.StringVar(&cfg.adversity, "adversity", "none", "fault-injection preset on the bottleneck, both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
+	fs.StringVar(&cfg.misbehave, "misbehave", "none", "replace every receiver with a Byzantine attacker: none|"+strings.Join(ptest.AttackerNames(), "|"))
 	fs.DurationVar(&cfg.deadline, "flowdeadline", 0, "per-flow lifetime bound; flows abort (deadline) when it elapses; 0 disables")
 	fs.IntVar(&cfg.maxRetx, "maxretx", 0, "per-flow retransmission budget; flows abort (retx-budget) beyond it; 0 disables")
 	fs.IntVar(&cfg.maxTimeouts, "maxtimeouts", 0, "consecutive-RTO give-up; flows abort (retx-budget) beyond it; 0 selects the default of 15, negative retries forever")
@@ -121,6 +124,7 @@ func (c *config) shapeArgs() []string {
 		"-horizon", c.horizon.String(),
 		"-seed", strconv.FormatUint(c.seed, 10),
 		"-adversity", c.adversity,
+		"-misbehave", c.misbehave,
 		"-flowdeadline", c.deadline.String(),
 		"-maxretx", strconv.Itoa(c.maxRetx),
 		"-maxtimeouts", strconv.Itoa(c.maxTimeouts),
@@ -238,9 +242,16 @@ func run(args []string) int {
 	defer cancel()
 	installSignalHandler(cancel)
 
+	// The misbehave column (flows aborted for peer misbehavior plus
+	// total flagged ACKs) appears only when an attacker is attached, so
+	// honest sweeps render bit-identically to earlier releases.
+	cols := []string{"scheme", "utilization_%", "flows", "mean_fct_ms", "p50_ms", "p99_ms", "mean_norm_retx", "completion", "aborted"}
+	if cfg.misbehave != "none" {
+		cols = append(cols, "misbehave")
+	}
 	table := metrics.NewTable(
 		fmt.Sprintf("FCT sweep: %dB flows, %dMbps bottleneck, %v RTT, %dB buffer", cfg.flowBytes, cfg.rateMbps, cfg.rtt, cfg.bufBytes),
-		"scheme", "utilization_%", "flows", "mean_fct_ms", "p50_ms", "p99_ms", "mean_norm_retx", "completion", "aborted")
+		cols...)
 	// Every (scheme, utilization) cell is an independent universe; fan
 	// them out and add the rows back in sweep order.
 	n := sw.n()
@@ -269,8 +280,12 @@ func run(args []string) int {
 		default:
 			failed++
 			name, util := sw.cell(i)
-			table.AddRow(name, util*100, "-", metrics.FailedCell(fleet.Classify(cellErr[i])),
-				"-", "-", "-", "-", "-")
+			row := []any{name, util * 100, "-", metrics.FailedCell(fleet.Classify(cellErr[i])),
+				"-", "-", "-", "-", "-"}
+			for len(row) < len(cols) {
+				row = append(row, "-")
+			}
+			table.AddRow(row...)
 		}
 	}
 
@@ -334,6 +349,16 @@ func newSweep(cfg config) (*sweep, error) {
 	if sw.adv, err = netem.AdversityPreset(cfg.adversity); err != nil {
 		return nil, err
 	}
+	if cfg.misbehave != "none" {
+		found := false
+		for _, a := range ptest.AttackerNames() {
+			found = found || a == cfg.misbehave
+		}
+		if !found {
+			return nil, fmt.Errorf("bad -misbehave %q (want none|%s)",
+				cfg.misbehave, strings.Join(ptest.AttackerNames(), "|"))
+		}
+	}
 	return sw, nil
 }
 
@@ -356,7 +381,8 @@ func (s *sweep) mapCells(ctx context.Context, workers int, run *fleet.Run) ([][]
 	}, s.n(), func(i, attempt int) ([]any, error) {
 		name, util := s.cell(i)
 		return runCell(cfg.seed, name, util, cfg.flowBytes, cfg.bufBytes, cfg.rtt,
-			cfg.rateMbps*netem.Mbps, cfg.horizon, s.adv, cfg.deadline, cfg.maxRetx, cfg.maxTimeouts), nil
+			cfg.rateMbps*netem.Mbps, cfg.horizon, s.adv, cfg.deadline, cfg.maxRetx, cfg.maxTimeouts,
+			cfg.misbehave), nil
 	})
 }
 
@@ -386,7 +412,7 @@ func installSignalHandler(cancel context.CancelFunc) {
 
 func runCell(seed uint64, name string, util float64, flowBytes, bufBytes int,
 	rtt time.Duration, rateBps int64, horizon time.Duration, adv netem.Adversity,
-	deadline time.Duration, maxRetx, maxTimeouts int) []any {
+	deadline time.Duration, maxRetx, maxTimeouts int, misbehave string) []any {
 	cfg := netem.DumbbellConfig{
 		Pairs: 16, BottleneckBps: rateBps, RTT: rtt, BufferBytes: bufBytes,
 	}.Defaulted()
@@ -401,13 +427,22 @@ func runCell(seed uint64, name string, util float64, flowBytes, bufBytes int,
 	ia := workload.MeanInterarrivalFor(dist.Mean(), util, cfg.BottleneckBps)
 	arrivals := workload.PoissonArrivalsCached(s.Rng.ForkNamed("arrivals"), dist, ia, horizon)
 	for _, a := range arrivals {
-		s.StartFlowAt(a.At, inst, a.Bytes)
+		conn := s.StartFlowAt(a.At, inst, a.Bytes)
+		if misbehave != "none" {
+			ptest.Attach(conn, misbehave)
+		}
 	}
 	s.Run(sim.Duration(horizon) + 120*sim.Second)
 
 	var fcts, retx []float64
 	for _, st := range s.Finished {
-		fcts = append(fcts, st.FCT().Seconds()*1000)
+		if misbehave == "none" {
+			fcts = append(fcts, st.FCT().Seconds()*1000)
+		} else {
+			// A Byzantine receiver never reports completion; the
+			// sender-side finish time is the only meaningful FCT.
+			fcts = append(fcts, st.SenderDone.Sub(st.Start).Seconds()*1000)
+		}
 		retx = append(retx, float64(st.NormalRetx))
 	}
 	aborted := 0
@@ -417,8 +452,19 @@ func runCell(seed uint64, name string, util float64, flowBytes, bufBytes int,
 		}
 	}
 	sum := metrics.Summarize(fcts)
-	return []any{
+	row := []any{
 		name, util * 100, len(arrivals), sum.Mean, sum.Median(), sum.Percentile(99),
 		metrics.Summarize(retx).Mean, s.CompletionRate(), aborted,
 	}
+	if misbehave != "none" {
+		var peerAborts, flagged int64
+		for _, c := range s.Conns() {
+			if c.Stats.AbortReason == transport.AbortPeerMisbehavior {
+				peerAborts++
+			}
+			flagged += c.Stats.MisbehaviorTotal()
+		}
+		row = append(row, fmt.Sprintf("%d aborts/%d flagged", peerAborts, flagged))
+	}
+	return row
 }

@@ -21,9 +21,11 @@ import (
 
 	"halfback/internal/experiment"
 	"halfback/internal/netem"
+	"halfback/internal/ptest"
 	"halfback/internal/scheme"
 	"halfback/internal/sim"
 	"halfback/internal/trace"
+	"halfback/internal/transport"
 )
 
 func main() {
@@ -37,6 +39,8 @@ func main() {
 		dropsArg    = flag.String("drop", "", "comma-separated segment numbers whose first copy is dropped")
 		seed        = flag.Uint64("seed", 1, "simulation seed")
 		advName     = flag.String("adversity", "none", "fault-injection preset on both directions: "+strings.Join(netem.AdversityPresetNames(), "|"))
+		misbehave   = flag.String("misbehave", "none", "replace the receiver with a Byzantine attacker: none|"+strings.Join(ptest.AttackerNames(), "|"))
+		validation  = flag.String("ackvalidation", "clamp", "sender policy for flagged ACKs: clamp|abort|off")
 		deadline    = flag.Duration("flowdeadline", 0, "per-flow lifetime bound; the flow aborts (deadline) when it elapses; 0 disables")
 		maxRetx     = flag.Int("maxretx", 0, "per-flow retransmission budget; the flow aborts (retx-budget) beyond it; 0 disables")
 		maxTimeouts = flag.Int("maxtimeouts", 0, "consecutive-RTO give-up; the flow aborts (retx-budget) beyond it; 0 selects the default of 15, negative retries forever")
@@ -60,6 +64,20 @@ func main() {
 	ps.Opts.FlowDeadline = sim.Duration(*deadline)
 	ps.Opts.MaxRetx = *maxRetx
 	ps.Opts.MaxTimeouts = *maxTimeouts
+	switch *validation {
+	case "clamp":
+		ps.Opts.AckValidation = transport.AckValidationClamp
+	case "abort":
+		ps.Opts.AckValidation = transport.AckValidationAbort
+	case "off":
+		ps.Opts.AckValidation = transport.AckValidationOff
+	default:
+		fmt.Fprintf(os.Stderr, "flowtrace: bad -ackvalidation %q (want clamp|abort|off)\n", *validation)
+		os.Exit(2)
+	}
+	if *misbehave != "none" {
+		ps.OnConn = func(c *transport.Conn) { ptest.Attach(c, *misbehave) }
+	}
 	ps.Path.Forward.SetAdversity(adv)
 	ps.Path.Back.SetAdversity(adv)
 	rec := trace.NewRecorder()
@@ -95,6 +113,10 @@ func main() {
 	fmt.Printf("\ncompleted=%v fct=%v timeouts=%d\n", st.Completed, st.FCT(), st.Timeouts)
 	if st.Aborted {
 		fmt.Printf("aborted: reason=%s at=%v\n", st.AbortReason, st.AbortedAt)
+	}
+	if *misbehave != "none" {
+		fmt.Printf("misbehavior: attacker=%s policy=%s flagged=%d first=%s\n",
+			*misbehave, ps.Opts.AckValidation, st.MisbehaviorTotal(), st.FirstMisbehavior)
 	}
 	fmt.Printf("wire: %d data sent (%d proactive, %d reactive), %d dropped, %d delivered, %d acks\n",
 		s.DataSent, s.ProactiveSent, s.ReactiveSent, s.DataDropped, s.DataDelivered, s.AcksDelivered)

@@ -60,7 +60,7 @@ func TestHalfbackHeadlineViaFacade(t *testing.T) {
 
 func TestExhibitRegistry(t *testing.T) {
 	ids := ExhibitIDs()
-	if len(ids) != 22 {
+	if len(ids) != 23 {
 		t.Fatalf("exhibits %d", len(ids))
 	}
 	if _, err := Exhibit("nope", 1, 1); err == nil {

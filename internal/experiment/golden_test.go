@@ -21,7 +21,7 @@ var update = flag.Bool("update", false, "rewrite golden files under testdata/")
 // multi-core machine is also a spot check of the parallel path against
 // renderings produced by the serial code.
 func TestGoldenTables(t *testing.T) {
-	for _, id := range []string{"2", "3", "adversity", "blackout"} {
+	for _, id := range []string{"2", "3", "adversity", "blackout", "misbehavior"} {
 		name := id
 		if id[0] >= '0' && id[0] <= '9' {
 			name = "fig" + id

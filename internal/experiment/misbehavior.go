@@ -1,0 +1,102 @@
+package experiment
+
+import (
+	"fmt"
+
+	"halfback/internal/metrics"
+	"halfback/internal/ptest"
+	"halfback/internal/scheme"
+	"halfback/internal/sim"
+	"halfback/internal/transport"
+)
+
+// Misbehavior is the Byzantine-receiver exhibit: every paper scheme
+// faces every attacker preset from the adversarial suite, once under
+// each ACK-validation policy. The hardened tables show the bounded-
+// waste guarantee in action — flows terminate, waste stays within the
+// documented amplification bound, and lying peers are flagged and
+// named — while the trusting (validation-off) table shows what the
+// validator exists to prevent: optimistic ACKing fooling a sender into
+// declaring a flow complete that the receiver never held.
+//
+// This extends the paper's "quickly and safely" claim from hostile
+// networks (the adversity exhibit) to hostile endpoints: aggressive
+// short-flow schemes are only admissible if a peer that lies about
+// receipt cannot turn their aggression into unbounded waste or false
+// completion.
+
+// MisbehaviorFlowBytes exceeds one flow-control window so a starved
+// sender genuinely stalls (see ptest.RunAttack).
+const MisbehaviorFlowBytes = 200_000
+
+// MisbehaviorCell is one (attack, scheme, policy) run.
+type MisbehaviorCell struct {
+	Attack string
+	Scheme string
+	Mode   transport.AckValidationMode
+	Result *ptest.AttackResult
+}
+
+// MisbehaviorResult is the exhibit's dataset.
+type MisbehaviorResult struct {
+	Attacks []string
+	Schemes []string
+	Cells   []MisbehaviorCell
+}
+
+// Misbehavior runs the exhibit: attacks × schemes × policies, fanned
+// across workers like every other sweep. Each cell is a single
+// deterministic universe, so the exhibit needs no trial scaling.
+func Misbehavior(seed uint64, sc Scale) *MisbehaviorResult {
+	attacks := ptest.AttackerNames()
+	schemes := scheme.Evaluated()
+	modes := []transport.AckValidationMode{
+		transport.AckValidationClamp,
+		transport.AckValidationAbort,
+		transport.AckValidationOff,
+	}
+	res := &MisbehaviorResult{Attacks: attacks, Schemes: schemes}
+	nm := len(modes)
+	res.Cells = sweep(sc, len(attacks)*len(schemes)*nm, func(i int) string {
+		c := i / nm
+		return fmt.Sprintf("misbehavior %s scheme %s mode %v",
+			attacks[c/len(schemes)], schemes[c%len(schemes)], modes[i%nm])
+	}, func(i int) MisbehaviorCell {
+		c := i / nm
+		attack, name, mode := attacks[c/len(schemes)], schemes[c%len(schemes)], modes[i%nm]
+		return MisbehaviorCell{
+			Attack: attack, Scheme: name, Mode: mode,
+			Result: ptest.RunAttack(sim.ChildSeed(seed^0xbadacce5, uint64(i)),
+				name, attack, MisbehaviorFlowBytes, mode),
+		}
+	})
+	return res
+}
+
+// Tables renders the exhibit.
+func (r *MisbehaviorResult) Tables() []*metrics.Table {
+	hardened := metrics.NewTable("Misbehaving endpoints: hardened sender (ACK validation on)",
+		"attack", "scheme", "policy", "outcome", "amplification", "pkts_sent", "flagged", "first_class")
+	trusting := metrics.NewTable("Misbehaving endpoints: trusting sender (validation off)",
+		"attack", "scheme", "outcome", "amplification", "delivered_segs", "total_segs")
+	for _, attack := range r.Attacks {
+		for _, name := range r.Schemes {
+			for _, c := range r.Cells {
+				if c.Attack != attack || c.Scheme != name {
+					continue
+				}
+				res := c.Result
+				if c.Mode == transport.AckValidationOff {
+					trusting.AddRow(attack, name, res.Outcome(),
+						fmt.Sprintf("%.2f", res.Amplification()),
+						res.Distinct, res.NumSegs)
+				} else {
+					hardened.AddRow(attack, name, c.Mode.String(), res.Outcome(),
+						fmt.Sprintf("%.2f", res.Amplification()),
+						res.DataPktsSent, res.Flagged, res.FirstClass.String())
+				}
+			}
+		}
+	}
+	return []*metrics.Table{hardened, trusting}
+}

@@ -37,6 +37,7 @@ func Registry() []Entry {
 		{"multihop", "Parking-lot chain of bottlenecks", func(s uint64, sc Scale) Result { return Multihop(s, sc) }},
 		{"adversity", "Safety under network adversity (reorder/dup/corrupt/flap)", func(s uint64, sc Scale) Result { return Adversity(s, sc) }},
 		{"blackout", "Graceful failure under a permanent mid-flow outage", func(s uint64, sc Scale) Result { return Blackout(s, sc) }},
+		{"misbehavior", "Safety under misbehaving endpoints (Byzantine receivers)", func(s uint64, sc Scale) Result { return Misbehavior(s, sc) }},
 	}
 }
 

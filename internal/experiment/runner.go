@@ -270,6 +270,11 @@ type PathSim struct {
 	Server *transport.Stack
 	Opts   transport.Options
 
+	// OnConn, when non-nil, observes every connection immediately after
+	// creation and before Start — the hook point for attaching receiver
+	// replacements (ptest attackers) or per-flow instrumentation.
+	OnConn func(*transport.Conn)
+
 	nextFlow netem.FlowID
 }
 
@@ -298,6 +303,9 @@ func (p *PathSim) FetchOnce(inst *scheme.Instance, bytes int, deadline sim.Durat
 		p.Sched.Stop()
 	})
 	conn.Stats.Scheme = inst.Name
+	if p.OnConn != nil {
+		p.OnConn(conn)
+	}
 	p.Sched.At(p.Sched.Now(), func(t sim.Time) { conn.Start(t) })
 	p.Sched.RunUntil(p.Sched.Now().Add(deadline))
 	conn.Abort()

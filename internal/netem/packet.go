@@ -152,6 +152,16 @@ type Packet struct {
 	// checksum there.
 	Corrupted bool
 
+	// Nonce is the anti-spoofing receipt proof (wire v3). On DATA
+	// segments the sender stamps an unguessable per-segment nonce (a
+	// keyed pure function of flow and seq — see transport.AckValidator);
+	// on ACKs the receiver echoes the XOR fold of the nonces of every
+	// segment the ACK claims ([0,CumAck) plus all advertised SACK
+	// ranges). A receiver that acknowledges data it never received
+	// cannot produce the fold, which defeats optimistic ACKing and SACK
+	// fabrication (Savage et al., CCR 1999).
+	Nonce uint64
+
 	// link is the wire currently propagating this packet; the arrival
 	// event carries the packet itself, and reads the link from here
 	// rather than from a closure.

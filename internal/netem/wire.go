@@ -15,7 +15,7 @@ import (
 // and diffed against real captures, and so the packet structures stay
 // honest about what would actually fit on the wire.
 //
-// Layout (big-endian, 62 bytes fixed + 8 per SACK block):
+// Layout (big-endian, 70 bytes fixed + 8 per SACK block):
 //
 //	 0: magic   uint16  0x4842 ("HB")
 //	 2: version uint8
@@ -33,19 +33,24 @@ import (
 //	42: window  int32
 //	46: echo    int64   (transport send timestamp, ns)
 //	54: payloadSum uint64 (end-to-end payload checksum)
-//	62... numSACK × {lo int32, hi int32}
+//	62: nonce   uint64  (per-segment nonce / ACK receipt fold)
+//	70... numSACK × {lo int32, hi int32}
 //
-// Version 1 headers (54 bytes, no payloadSum) are still decoded; the
-// checksum reads as zero and the corrupted flag as clear.
+// Version 2 headers (62 bytes, no nonce) and version 1 headers (54
+// bytes, no payloadSum either) are still decoded; missing fields read
+// as zero.
 
 // WireVersion is the current header version.
-const WireVersion = 2
+const WireVersion = 3
 
 // wireMagic identifies a Halfback wire header.
 const wireMagic = 0x4842
 
-// wireFixedLen is the fixed header size in bytes (version 2).
-const wireFixedLen = 62
+// wireFixedLen is the fixed header size in bytes (version 3).
+const wireFixedLen = 70
+
+// wireFixedLenV2 is the version-2 fixed header size, still decodable.
+const wireFixedLenV2 = 62
 
 // wireFixedLenV1 is the version-1 fixed header size, still decodable.
 const wireFixedLenV1 = 54
@@ -89,6 +94,7 @@ func MarshalPacket(p *Packet) []byte {
 	binary.BigEndian.PutUint32(buf[42:], uint32(p.Window))
 	binary.BigEndian.PutUint64(buf[46:], uint64(p.Echo))
 	binary.BigEndian.PutUint64(buf[54:], p.PayloadSum)
+	binary.BigEndian.PutUint64(buf[62:], p.Nonce)
 	for i := 0; i < numSACK; i++ {
 		off := wireFixedLen + 8*i
 		binary.BigEndian.PutUint32(buf[off:], uint32(p.SACK[i].Lo))
@@ -120,6 +126,8 @@ func UnmarshalPacket(buf []byte) (*Packet, int, error) {
 	switch buf[2] {
 	case 1:
 		fixed = wireFixedLenV1
+	case 2:
+		fixed = wireFixedLenV2
 	case WireVersion:
 	default:
 		return nil, 0, fmt.Errorf("%w: %d", ErrWireVersion, buf[2])
@@ -151,9 +159,12 @@ func UnmarshalPacket(buf []byte) (*Packet, int, error) {
 	}
 	p.Retransmit = buf[28]&1 != 0
 	p.Proactive = buf[28]&2 != 0
-	if buf[2] == WireVersion {
+	if buf[2] >= 2 {
 		p.Corrupted = buf[28]&4 != 0
 		p.PayloadSum = binary.BigEndian.Uint64(buf[54:])
+	}
+	if buf[2] >= 3 {
+		p.Nonce = binary.BigEndian.Uint64(buf[62:])
 	}
 	for i := 0; i < numSACK; i++ {
 		off := fixed + 8*i

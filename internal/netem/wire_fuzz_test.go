@@ -19,6 +19,7 @@ func FuzzUnmarshalPacket(f *testing.F) {
 		Retransmit: true, Proactive: true, Corrupted: true,
 		CumAck: 17, AckedSeq: 42, RecvTotal: 40, Window: 64,
 		Echo: sim.Time(123456789), PayloadSum: 0xdeadbeefcafef00d,
+		Nonce:   0x0123456789abcdef,
 		NumSACK: 2,
 		SACK:    [MaxSACKBlocks]SeqRange{{Lo: 50, Hi: 53}, {Lo: 60, Hi: 61}},
 	}

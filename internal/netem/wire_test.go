@@ -14,6 +14,7 @@ func TestWireRoundtrip(t *testing.T) {
 		Seq: 42, Size: 1500, Retransmit: true, Proactive: true,
 		NumSACK: 2, CumAck: 40, AckedSeq: 42, RecvTotal: 99,
 		Window: 141000, Echo: sim.Time(777 * sim.Millisecond),
+		PayloadSum: 0x1122334455667788, Nonce: 0x99aabbccddeeff00,
 	}
 	p.SACK[0] = SeqRange{Lo: 44, Hi: 48}
 	p.SACK[1] = SeqRange{Lo: 50, Hi: 51}
@@ -58,6 +59,44 @@ func TestWireRoundtripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestWireDecodesOlderVersions checks that v1 (54-byte) and v2
+// (62-byte) frames still decode, with fields the older versions lack
+// reading as zero.
+func TestWireDecodesOlderVersions(t *testing.T) {
+	p := &Packet{
+		Kind: KindAck, Flow: 5, Src: 1, Dst: 2, Size: 40,
+		CumAck: 7, AckedSeq: 6, RecvTotal: 9, NumSACK: 1,
+		PayloadSum: 0xabad1dea, Nonce: 0xfeedface,
+	}
+	p.SACK[0] = SeqRange{Lo: 8, Hi: 10}
+	buf := MarshalPacket(p)
+
+	// Rewrite as a v2 frame: drop the nonce word, patch the version.
+	v2 := append(append([]byte{}, buf[:wireFixedLenV2]...), buf[wireFixedLen:]...)
+	v2[2] = 2
+	got, n, err := UnmarshalPacket(v2)
+	if err != nil || n != len(v2) {
+		t.Fatalf("v2 decode: %v (n=%d)", err, n)
+	}
+	want := *p
+	want.Nonce = 0
+	if *got != want {
+		t.Fatalf("v2 mismatch:\n got %+v\nwant %+v", *got, want)
+	}
+
+	// Rewrite as a v1 frame: drop payloadSum and nonce.
+	v1 := append(append([]byte{}, buf[:wireFixedLenV1]...), buf[wireFixedLen:]...)
+	v1[2] = 1
+	got, n, err = UnmarshalPacket(v1)
+	if err != nil || n != len(v1) {
+		t.Fatalf("v1 decode: %v (n=%d)", err, n)
+	}
+	want.PayloadSum = 0
+	if *got != want {
+		t.Fatalf("v1 mismatch:\n got %+v\nwant %+v", *got, want)
 	}
 }
 

@@ -1,11 +1,17 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 
 	"halfback/internal/netem"
 	"halfback/internal/sim"
 )
+
+// ErrAborted is the sentinel every *AbortError unwraps to, so callers
+// can test errors.Is(err, transport.ErrAborted) without naming the
+// concrete type.
+var ErrAborted = errors.New("transport: flow aborted")
 
 // AbortReason classifies why a connection entered the terminal Aborted
 // state. The zero value means the flow was not aborted.
@@ -28,6 +34,10 @@ const (
 	// AbortExternal: the embedding harness tore the flow down (e.g. the
 	// simulation horizon passed with the flow still in progress).
 	AbortExternal
+	// AbortPeerMisbehavior: ACK validation flagged the peer as
+	// misbehaving (see PeerMisbehavior) more than
+	// Options.MisbehaviorTolerance times under AckValidationAbort.
+	AbortPeerMisbehavior
 )
 
 // String renders the reason for tables and error messages.
@@ -43,6 +53,8 @@ func (r AbortReason) String() string {
 		return "deadline"
 	case AbortExternal:
 		return "external"
+	case AbortPeerMisbehavior:
+		return "peer-misbehavior"
 	default:
 		return fmt.Sprintf("AbortReason(%d)", uint8(r))
 	}
@@ -68,6 +80,9 @@ func (e *AbortError) Error() string {
 
 // FailureClass marks aborted flows for the fleet error taxonomy.
 func (e *AbortError) FailureClass() string { return "aborted" }
+
+// Unwrap links every abort into the ErrAborted chain for errors.Is.
+func (e *AbortError) Unwrap() error { return ErrAborted }
 
 // AbortError returns a structured *AbortError for an aborted flow, or
 // nil for a flow that completed (or never aborted).

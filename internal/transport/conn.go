@@ -78,6 +78,8 @@ type Conn struct {
 
 	onComplete func(*Conn)
 	recv       *receiver
+	recvLogic  ReceiverLogic
+	val        AckValidator
 
 	// OnDeliver, if set, is invoked at the receiver for every *new*
 	// data segment (duplicates excluded) with its payload size. The
@@ -119,6 +121,7 @@ func NewConn(id netem.FlowID, src, dst *Stack, flowBytes int, opts Options,
 		sentAt:     make([]sim.Time, n),
 		onComplete: onComplete,
 	}
+	c.val.Init(id)
 	c.recv = newReceiver(c)
 	c.logic = makeLogic(c)
 	if c.logic == nil {
@@ -245,7 +248,17 @@ func (c *Conn) handleSenderPacket(pkt *netem.Packet, now sim.Time) {
 }
 
 func (c *Conn) processAck(pkt *netem.Packet, now sim.Time) {
+	validate := c.Opts.AckValidation != AckValidationOff
+	if validate {
+		if class := c.val.Check(c.Score, pkt, c.Stats.DataPktsSent); class != MisbehaviorNone {
+			c.noteMisbehavior(class, now)
+			return
+		}
+	}
 	up := c.Score.Update(pkt)
+	if validate {
+		c.val.Commit(c.Score)
+	}
 
 	// Karn's rule: sample RTT only from segments never retransmitted.
 	if seq := pkt.AckedSeq; seq >= 0 && seq < c.NumSegs &&
@@ -262,6 +275,20 @@ func (c *Conn) processAck(pkt *netem.Packet, now sim.Time) {
 		c.restartRTO(now)
 	}
 	c.logic.OnAck(pkt, up, now)
+}
+
+// noteMisbehavior records a flagged ACK and applies the configured
+// policy: Clamp drops the ACK and carries on, Abort tears the flow
+// down once the tolerance is exceeded.
+func (c *Conn) noteMisbehavior(class PeerMisbehavior, now sim.Time) {
+	c.Stats.Misbehavior[class]++
+	if c.Stats.FirstMisbehavior == MisbehaviorNone {
+		c.Stats.FirstMisbehavior = class
+	}
+	if c.Opts.AckValidation == AckValidationAbort &&
+		c.Stats.MisbehaviorTotal() > int64(c.Opts.MisbehaviorTolerance) {
+		c.abortWith(AbortPeerMisbehavior, now)
+	}
 }
 
 // SegmentSize returns the wire size of segment seq (the final segment of
@@ -292,6 +319,7 @@ func (c *Conn) SendSegment(seq int32, retransmit, proactive bool, now sim.Time) 
 	pkt.Retransmit, pkt.Proactive = retransmit, proactive
 	pkt.Echo, pkt.AckedSeq = now, -1
 	pkt.PayloadSum = PayloadSum(c.ID, seq, pkt.Size)
+	pkt.Nonce = c.val.SegNonce(seq)
 	if !retransmit && c.sentAt[seq] == 0 {
 		c.sentAt[seq] = now
 		if now == 0 {
@@ -465,6 +493,46 @@ func (c *Conn) Net() *netem.Network { return c.net }
 // SrcNode and DstNode return the endpoints' node IDs.
 func (c *Conn) SrcNode() netem.NodeID { return c.src.Node.ID }
 func (c *Conn) DstNode() netem.NodeID { return c.dst.Node.ID }
+
+// Receiver replacement -------------------------------------------------
+
+// ReceiverLogic replaces the Conn's built-in honest receiver endpoint.
+// It exists for the adversarial receivers in internal/ptest: the
+// implementation sees every packet the receiver-side stack delivers for
+// the flow and crafts its own replies with EmitFromReceiver. OnReap
+// runs when the flow reaches a terminal state so the logic can cancel
+// any private timers.
+type ReceiverLogic interface {
+	OnReceiverPacket(c *Conn, pkt *netem.Packet, now sim.Time)
+	OnReceiverReap(c *Conn)
+}
+
+// SetReceiverLogic installs a replacement receiver endpoint. It must be
+// called before Start.
+func (c *Conn) SetReceiverLogic(rl ReceiverLogic) {
+	if c.state != stateIdle {
+		panic("transport: SetReceiverLogic after Start")
+	}
+	c.recvLogic = rl
+}
+
+// EmitFromReceiver injects one receiver→sender packet built by mutate,
+// which receives a pooled packet pre-addressed from the receiver stack
+// to the sender with AckedSeq=-1 and Echo=now; mutate sets the kind and
+// whatever fields the reply needs. No-op once the flow is terminal
+// (the sender endpoint is unregistered and the packet would only churn
+// the drain).
+func (c *Conn) EmitFromReceiver(mutate func(*netem.Packet), now sim.Time) {
+	if c.Finished() {
+		return
+	}
+	pkt := c.net.NewPacket()
+	pkt.Flow = c.ID
+	pkt.Src, pkt.Dst = c.dst.Node.ID, c.src.Node.ID
+	pkt.Size, pkt.Echo, pkt.AckedSeq = netem.AckSize, now, -1
+	mutate(pkt)
+	c.net.Inject(pkt, now)
+}
 
 // Pacing support ------------------------------------------------------
 

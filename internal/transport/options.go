@@ -10,6 +10,8 @@
 package transport
 
 import (
+	"fmt"
+
 	"halfback/internal/netem"
 	"halfback/internal/sim"
 )
@@ -101,6 +103,52 @@ type Options struct {
 	// DelayedAckTimeout bounds how long a delayed ACK may be withheld
 	// (default 40 ms, the classic value).
 	DelayedAckTimeout sim.Duration
+
+	// AckValidation selects the misbehaving-peer policy (see
+	// validate.go). The zero value — AckValidationClamp — validates
+	// every ACK and silently discards flagged ones, which leaves honest
+	// flows bit-identical and bounds dishonest ones by the existing
+	// retransmission budgets. AckValidationAbort additionally tears the
+	// flow down with AbortPeerMisbehavior once MisbehaviorTolerance
+	// flagged ACKs have been seen. AckValidationOff trusts the wire
+	// completely (the pre-hardening behaviour, kept for the identity
+	// tests and for measuring what attacks cost an unprotected stack).
+	AckValidation AckValidationMode
+
+	// MisbehaviorTolerance is how many flagged ACKs an
+	// AckValidationAbort connection absorbs before aborting; the
+	// default 0 aborts on the first. Clamp mode ignores it.
+	MisbehaviorTolerance int
+}
+
+// AckValidationMode selects how a connection treats ACKs that fail
+// validation.
+type AckValidationMode uint8
+
+const (
+	// AckValidationClamp (default): validate and discard flagged ACKs,
+	// never abort on them.
+	AckValidationClamp AckValidationMode = iota
+	// AckValidationAbort: validate, discard, and abort the flow with
+	// AbortPeerMisbehavior once more than MisbehaviorTolerance ACKs
+	// have been flagged.
+	AckValidationAbort
+	// AckValidationOff: trust every ACK (no validation).
+	AckValidationOff
+)
+
+// String renders the mode for flags and error messages.
+func (m AckValidationMode) String() string {
+	switch m {
+	case AckValidationClamp:
+		return "clamp"
+	case AckValidationAbort:
+		return "abort"
+	case AckValidationOff:
+		return "off"
+	default:
+		return fmt.Sprintf("AckValidationMode(%d)", uint8(m))
+	}
 }
 
 // DefaultOptions returns the paper's configuration.

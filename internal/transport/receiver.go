@@ -18,6 +18,13 @@ type receiver struct {
 	total    int32 // all data packets received, including duplicates
 	holeSeen bool
 
+	// cumFold is the XOR fold of the nonces of segments [0, cumAck),
+	// maintained as cumAck advances; sendAck extends it with the
+	// advertised SACK ranges (memoized in rfold — recovery re-sends the
+	// same widening ranges on every ACK) to form the receipt proof.
+	cumFold uint64
+	rfold   foldCache
+
 	// Delayed-ACK state (Options.DelayedAcks): unacked counts data
 	// packets received since the last ACK; ackTimer bounds the delay
 	// and ackTrigger remembers which segment armed it.
@@ -32,6 +39,10 @@ func newReceiver(c *Conn) *receiver {
 
 func (r *receiver) handlePacket(pkt *netem.Packet, now sim.Time) {
 	c := r.conn
+	if c.recvLogic != nil {
+		c.recvLogic.OnReceiverPacket(c, pkt, now)
+		return
+	}
 	switch pkt.Kind {
 	case netem.KindSYN:
 		// Reply (or re-reply, if the SYNACK was lost) with the
@@ -63,6 +74,7 @@ func (r *receiver) handlePacket(pkt *netem.Packet, now sim.Time) {
 			}
 			r.distinct++
 			for r.cumAck < c.NumSegs && r.got[r.cumAck] {
+				r.cumFold ^= c.val.SegNonce(r.cumAck)
 				r.cumAck++
 			}
 			if seq > r.cumAck {
@@ -114,6 +126,9 @@ func (r *receiver) handlePacket(pkt *netem.Packet, now sim.Time) {
 // finish deliberately does not reap — a final delayed ACK in flight at
 // completion is harmless, and recorded goldens include its events.
 func (r *receiver) reap() {
+	if rl := r.conn.recvLogic; rl != nil {
+		rl.OnReceiverReap(r.conn)
+	}
 	r.ackTimer.Stop()
 	r.unacked = 0
 }
@@ -144,6 +159,13 @@ func (r *receiver) sendAck(seq int32, now sim.Time) {
 	ack.CumAck, ack.AckedSeq, ack.RecvTotal = r.cumAck, seq, r.total
 	ack.Echo = now
 	r.fillSACK(ack, seq)
+	// Receipt proof: fold the nonces of every claimed segment —
+	// [0,cumAck) incrementally, plus each advertised range (always
+	// strictly above cumAck, so nothing is folded twice).
+	ack.Nonce = r.cumFold
+	for i := 0; i < ack.NumSACK; i++ {
+		ack.Nonce ^= r.rfold.fold(&c.val, ack.SACK[i].Lo, ack.SACK[i].Hi)
+	}
 	c.net.Inject(ack, now)
 }
 

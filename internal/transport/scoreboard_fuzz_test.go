@@ -14,6 +14,108 @@ import (
 // fields, exactly what a hostile or corrupted network can deliver.
 // After every operation the structural invariants must hold and a
 // replayed ACK must change nothing.
+// FuzzScoreboardSACKPermutation is the normalization audit for SACK
+// application: the scoreboard treats SACK blocks as a set union, so
+// any permutation, duplication, or re-splitting of the honest blocks
+// an ACK carries must produce an identical scoreboard. The fuzzer
+// picks an honest receiver state (a subset of received segments), and
+// the test derives the maximal SACK runs, then applies them in fuzzed
+// order with fuzzed duplication — in one ACK and split across several
+// — and demands identical observable state every way.
+func FuzzScoreboardSACKPermutation(f *testing.F) {
+	f.Add([]byte{0xa5, 0x0f, 3, 1}, uint16(0x35aa))
+	f.Add([]byte{0xff, 0x00, 0xff, 7, 9}, uint16(0x1234))
+	f.Fuzz(func(t *testing.T, gotBits []byte, shuffle uint16) {
+		const n = 32
+		// Honest receiver state: got[i] from the fuzzed bitmap, with
+		// segment 0 missing so the cumulative point stays at 0 and
+		// every run is a SACK block.
+		var got [n]bool
+		for i := 1; i < n; i++ {
+			got[i] = len(gotBits) > 0 && gotBits[(i-1)%len(gotBits)]&(1<<uint((i-1)%8)) != 0
+		}
+		// Maximal runs, bottom-up — what receiver.fillSACK reports.
+		var blocks []netem.SeqRange
+		for s := 1; s < n; {
+			if !got[s] {
+				s++
+				continue
+			}
+			lo := s
+			for s < n && got[s] {
+				s++
+			}
+			blocks = append(blocks, netem.SeqRange{Lo: int32(lo), Hi: int32(s)})
+		}
+		if len(blocks) == 0 {
+			return
+		}
+
+		fresh := func() *Scoreboard {
+			s := NewScoreboard(n)
+			for seq := int32(0); seq < n; seq++ {
+				s.NoteSend(seq, false)
+			}
+			return s
+		}
+		apply := func(s *Scoreboard, order []netem.SeqRange) {
+			// Deliver the blocks MaxSACKBlocks at a time, as a real ACK
+			// stream would, duplicating the block the shuffle selects.
+			for i := 0; i < len(order); i += netem.MaxSACKBlocks {
+				pkt := &netem.Packet{Kind: netem.KindAck, AckedSeq: -1}
+				for j := i; j < len(order) && pkt.NumSACK < netem.MaxSACKBlocks; j++ {
+					pkt.SACK[pkt.NumSACK] = order[j]
+					pkt.NumSACK++
+				}
+				dup := int(shuffle>>8) % (pkt.NumSACK + 1)
+				if dup < pkt.NumSACK && pkt.NumSACK < netem.MaxSACKBlocks {
+					pkt.SACK[pkt.NumSACK] = pkt.SACK[dup]
+					pkt.NumSACK++
+				}
+				s.Update(pkt)
+			}
+		}
+		observe := func(s *Scoreboard) [n + 2]int32 {
+			var o [n + 2]int32
+			o[0] = s.CumAck()
+			o[1] = s.SackedAboveCum()
+			for seq := int32(0); seq < n; seq++ {
+				if s.IsAcked(seq) {
+					o[2+seq] = 1
+				}
+			}
+			return o
+		}
+
+		base := fresh()
+		apply(base, blocks)
+		want := observe(base)
+
+		// Fisher-Yates permutation driven by the fuzzed shuffle word.
+		perm := append([]netem.SeqRange(nil), blocks...)
+		state := uint32(shuffle) | 1
+		for i := len(perm) - 1; i > 0; i-- {
+			state = state*1664525 + 1013904223
+			j := int(state>>16) % (i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		permuted := fresh()
+		apply(permuted, perm)
+		if got := observe(permuted); got != want {
+			t.Fatalf("permuted SACK order diverged:\nblocks %v\nperm   %v\n got %v\nwant %v",
+				blocks, perm, got, want)
+		}
+
+		// Duplication of the whole stream: applying every block twice
+		// must also be a no-op the second time.
+		doubled := fresh()
+		apply(doubled, append(append([]netem.SeqRange(nil), perm...), blocks...))
+		if got := observe(doubled); got != want {
+			t.Fatalf("duplicated SACK stream diverged:\n got %v\nwant %v", got, want)
+		}
+	})
+}
+
 func FuzzScoreboard(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 1, 2, 3})
 	f.Add([]byte{0, 0, 0, 0, 1, 0xff, 0xff, 0xff, 0xff, 0, 0, 0, 2})

@@ -72,6 +72,23 @@ type FlowStats struct {
 	// a loss, or the receiver observed a sequence hole; used to split
 	// the population for Fig. 8.
 	LossSeen bool
+
+	// Misbehavior counts ACKs the validator flagged, indexed by
+	// PeerMisbehavior class (index 0, MisbehaviorNone, stays zero).
+	Misbehavior [NumPeerMisbehaviors]int64
+	// FirstMisbehavior is the class of the first flagged ACK
+	// (MisbehaviorNone if the peer never misbehaved).
+	FirstMisbehavior PeerMisbehavior
+}
+
+// MisbehaviorTotal returns how many ACKs the validator flagged across
+// all classes.
+func (s *FlowStats) MisbehaviorTotal() int64 {
+	var total int64
+	for _, n := range s.Misbehavior[1:] {
+		total += n
+	}
+	return total
 }
 
 // FCT returns the flow completion time (receiver has all data, measured

@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"testing"
+
+	"halfback/internal/netem"
+)
+
+// FuzzAckValidate feeds adversarial ACK frames — arbitrary byte
+// strings run through the wire decoder — into the validator in front
+// of a mid-flight scoreboard. The contract under test: the validator
+// never panics on any decodable frame, every rejection carries a
+// defined PeerMisbehavior class, an accepted ACK never regresses the
+// cumulative-ACK point, and the verdict is deterministic (checking the
+// same frame twice against unchanged state agrees, modulo the dup-ACK
+// budget drawing down).
+func FuzzAckValidate(f *testing.F) {
+	f.Add(netem.MarshalPacket(&netem.Packet{Kind: netem.KindAck, CumAck: 4, AckedSeq: -1, RecvTotal: 4}))
+	f.Add(netem.MarshalPacket(&netem.Packet{Kind: netem.KindAck, CumAck: 64, AckedSeq: -1, RecvTotal: 64}))
+	f.Add([]byte{0x48, 0x42, 3, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pkt, _, err := netem.UnmarshalPacket(data)
+		if err != nil {
+			return // malformed frames are the wire codec's problem (FuzzUnmarshalPacket)
+		}
+		pkt.Kind = netem.KindAck // the validator only ever sees ACKs
+
+		// A mid-flight flow: 24 segments, [0,16) transmitted, honest
+		// progress to cum=4 with {6,7} SACKed.
+		v, s := mkVal(24, 16)
+		warm := honestAck(v, 4, netem.SeqRange{Lo: 6, Hi: 8})
+		if v.Check(s, warm, 16) != MisbehaviorNone {
+			t.Fatal("warmup ack flagged")
+		}
+		s.Update(warm)
+		v.Commit(s)
+
+		before := s.CumAck()
+		class := v.Check(s, pkt, 16)
+		if class >= NumPeerMisbehaviors {
+			t.Fatalf("undefined class %d", class)
+		}
+		if class != MisbehaviorNone {
+			// Rejected: the scoreboard must not have been touched, and
+			// the classification must be deterministic.
+			if s.CumAck() != before {
+				t.Fatalf("rejected ACK moved CumAck %d → %d", before, s.CumAck())
+			}
+			if again := v.Check(s, pkt, 16); again != class {
+				t.Fatalf("verdict flapped: %v then %v", class, again)
+			}
+			return
+		}
+		// Accepted: apply and re-verify the invariants the protocols
+		// rely on. CumAck may only advance, never regress, and never
+		// past the sent window.
+		s.Update(pkt)
+		v.Commit(s)
+		if s.CumAck() < before {
+			t.Fatalf("CumAck regressed %d → %d", before, s.CumAck())
+		}
+		if s.CumAck() > s.HighSent()+1 {
+			t.Fatalf("CumAck %d passed HighSent %d", s.CumAck(), s.HighSent())
+		}
+	})
+}
